@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+
+#include "data/synthetic.h"
+#include "models/zoo.h"
+#include "nn/trainer.h"
+#include "smartpaf/scheduler.h"
+
+namespace sp::bench {
+
+/// Output directory for bench CSVs and cached base-model weights.
+std::string out_dir();
+
+/// The "ImageNet-1k stand-in" task (harder: 20 classes, heavier noise).
+const data::SyntheticData& imagenet_mini();
+/// The "CiFar-10 stand-in" task (easier; 32x32 so VGG-19's five pools fit).
+const data::SyntheticData& cifar_mini();
+
+models::ModelConfig resnet_cfg();
+models::ModelConfig vgg_cfg();
+
+/// Reduced fine-tuning splits used by the quick-mode harnesses: PAF-model
+/// training epochs are ~5x costlier than plain ones, so technique-combo runs
+/// train on a 600-sample subset and validate on a 200-sample subset.
+const nn::Dataset& ft_train_imagenet();
+const nn::Dataset& ft_val_imagenet();
+const nn::Dataset& ft_train_cifar();
+const nn::Dataset& ft_val_cifar();
+
+/// First-n-sample subset of a dataset.
+nn::Dataset subset(const nn::Dataset& ds, int n);
+
+/// Baseline training hyperparameters for from-scratch base training.
+nn::TrainConfig base_train_cfg();
+
+/// Trains (or loads from cache) the base ResNet-18-mini on imagenet_mini.
+nn::Model trained_resnet();
+/// Trains (or loads from cache) the base VGG-19-mini on cifar_mini.
+nn::Model trained_vgg();
+
+/// Quick-budget scheduler configuration for a technique combination, used by
+/// the Table 3 / Fig. 8 / Fig. 9 harnesses. `train_paf=false` gives the
+/// prior-work baseline that excludes PAF coefficients from fine-tuning.
+smartpaf::SchedulerConfig combo_cfg(approx::PafForm form, bool ct, bool pa, bool at,
+                                    bool train_paf, bool replace_maxpool);
+
+/// Formats a fraction as a percentage string.
+std::string pct(double frac);
+
+}  // namespace sp::bench

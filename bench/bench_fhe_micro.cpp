@@ -1,0 +1,108 @@
+// google-benchmark microbenchmarks of the CKKS substrate: NTT, encode,
+// encrypt, ciphertext arithmetic, relinearized multiplication, rotation and
+// full PAF-ReLU per form. These are the primitives whose costs compose into
+// the Table 4 latency column.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fhe/primes.h"
+#include "smartpaf/fhe_deploy.h"
+
+namespace {
+
+using namespace sp;
+using namespace sp::fhe;
+
+CkksContext& context() {
+  static CkksContext ctx(CkksParams::for_depth(8192, 10, 40));
+  return ctx;
+}
+
+smartpaf::FheRuntime& runtime() {
+  static smartpaf::FheRuntime rt(CkksParams::for_depth(8192, 12, 40));
+  return rt;
+}
+
+void BM_NttForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const u64 q = generate_ntt_primes(50, 1, n)[0];
+  NttTables ntt(n, Modulus(q));
+  sp::Rng rng(1);
+  std::vector<u64> a(n);
+  for (auto& v : a) v = rng.next_u64() % q;
+  for (auto _ : state) {
+    ntt.forward(a.data());
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_NttForward)->Arg(4096)->Arg(16384)->Arg(32768)->Iterations(200);
+
+void BM_Encode(benchmark::State& state) {
+  auto& ctx = context();
+  Encoder enc(ctx);
+  std::vector<double> v(ctx.slot_count(), 0.5);
+  for (auto _ : state) benchmark::DoNotOptimize(enc.encode(v, ctx.scale(), ctx.q_count()));
+}
+BENCHMARK(BM_Encode);
+
+void BM_Encrypt(benchmark::State& state) {
+  auto& rt = runtime();
+  std::vector<double> v(rt.ctx().slot_count(), 0.5);
+  const Plaintext pt = rt.encoder().encode(v, rt.ctx().scale(), rt.ctx().q_count());
+  for (auto _ : state) benchmark::DoNotOptimize(rt.encryptor().encrypt(pt));
+}
+BENCHMARK(BM_Encrypt);
+
+void BM_AddCiphertexts(benchmark::State& state) {
+  auto& rt = runtime();
+  std::vector<double> v(rt.ctx().slot_count(), 0.5);
+  const Ciphertext a = rt.encrypt(v), b = rt.encrypt(v);
+  for (auto _ : state) benchmark::DoNotOptimize(rt.evaluator().add(a, b));
+}
+BENCHMARK(BM_AddCiphertexts);
+
+void BM_MultiplyPlainRescale(benchmark::State& state) {
+  auto& rt = runtime();
+  std::vector<double> v(rt.ctx().slot_count(), 0.5);
+  const Ciphertext a = rt.encrypt(v);
+  for (auto _ : state) {
+    Ciphertext c = a;
+    rt.evaluator().multiply_plain_inplace(
+        c, rt.encoder().encode_scalar(1.5, rt.ctx().scale(), c.q_count()));
+    rt.evaluator().rescale_inplace(c);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MultiplyPlainRescale);
+
+void BM_MultiplyRelinRescale(benchmark::State& state) {
+  auto& rt = runtime();
+  std::vector<double> v(rt.ctx().slot_count(), 0.5);
+  const Ciphertext a = rt.encrypt(v), b = rt.encrypt(v);
+  for (auto _ : state) {
+    Ciphertext c = rt.evaluator().multiply(a, b);
+    rt.evaluator().relinearize_inplace(c, rt.relin_key());
+    rt.evaluator().rescale_inplace(c);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MultiplyRelinRescale)->Unit(benchmark::kMillisecond)->Iterations(10);
+
+void BM_PafRelu(benchmark::State& state) {
+  auto& rt = runtime();
+  const auto forms = approx::all_forms();
+  const auto form = forms[static_cast<std::size_t>(state.range(0))];
+  const auto paf = approx::make_paf(form);
+  std::vector<double> v(rt.ctx().slot_count(), 0.5);
+  const Ciphertext ct = rt.encrypt(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rt.paf_evaluator().relu(rt.evaluator(), ct, paf, 2.0, nullptr));
+  }
+  state.SetLabel(approx::form_name(form));
+}
+BENCHMARK(BM_PafRelu)->DenseRange(0, 5)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Reproduces Fig. 8: post-fine-tune accuracy of
+//   (1) direct replacement + direct training        (prior-work baseline)
+//   (2) direct replacement + progressive training   (green bar)
+//   (3) progressive replacement + progressive training (PA, orange bar)
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "common/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  using approx::PafForm;
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+  const nn::Dataset& ft_train = bench::ft_train_imagenet();
+  const nn::Dataset& ft_val = bench::ft_val_imagenet();
+  std::printf("=== Fig. 8: Progressive Approximation vs direct training ===\n");
+  std::printf("(ResNet-18-mini, ReLU-only replacement, as in the paper's Fig. 8)\n\n");
+
+  std::vector<PafForm> forms =
+      full ? approx::trainable_forms()
+           : std::vector<PafForm>{PafForm::F1SQ_G1SQ, PafForm::F1_G2};
+
+  Table table({"Form", "direct+direct", "direct+progressive", "PA (prog+prog)",
+               "PA gain vs direct"});
+  for (PafForm form : forms) {
+    sp::Timer timer;
+    double acc[3];
+    for (int strategy = 0; strategy < 3; ++strategy) {
+      nn::Model m = bench::trained_resnet();
+      smartpaf::SchedulerConfig cfg =
+          bench::combo_cfg(form, /*ct=*/false, /*pa=*/strategy == 2, /*at=*/false,
+                           /*train_paf=*/strategy != 0, /*replace_maxpool=*/false);
+      if (strategy == 1) {
+        cfg.progressive_replace = false;  // direct replacement...
+        cfg.progressive_train = true;     // ...but progressive training
+      }
+      smartpaf::Scheduler sched(m, ft_train, ft_val, cfg);
+      acc[strategy] = sched.run().best_acc_ds;
+    }
+    table.add_row({approx::form_name(form), bench::pct(acc[0]), bench::pct(acc[1]),
+                   bench::pct(acc[2]),
+                   Table::num(100.0 * (acc[2] - acc[0]), 1) + " pts"});
+    std::printf("  [%s done in %.0fs]\n", approx::form_name(form).c_str(), timer.seconds());
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  table.write_csv(bench::out_dir() + "/fig8.csv");
+  return 0;
+}

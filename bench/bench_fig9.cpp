@@ -1,0 +1,60 @@
+// Reproduces Fig. 9: the training-curve deep dive with the 14-degree
+// f1^2.g1^2 PAF — prior-work baseline (direct replacement, PAFs excluded
+// from training) vs SMART-PAF (CT + PA + AT), with event markers.
+// --dump-coeffs also prints the final per-layer coefficients (the
+// Appendix-B reproduction).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  using approx::PafForm;
+  const bool dump = argc > 1 && std::strcmp(argv[1], "--dump-coeffs") == 0;
+
+  const nn::Dataset& ft_train = bench::ft_train_imagenet();
+  const nn::Dataset& ft_val = bench::ft_val_imagenet();
+  std::printf("=== Fig. 9: training curves, baseline vs SMART-PAF (f1^2.g1^2) ===\n");
+
+  smartpaf::SchedulerResult runs[2];
+  const char* names[2] = {"baseline", "smartpaf"};
+  for (int which = 0; which < 2; ++which) {
+    nn::Model m = bench::trained_resnet();
+    smartpaf::SchedulerConfig cfg =
+        which == 0
+            ? bench::combo_cfg(PafForm::F1SQ_G1SQ, false, false, false, false, true)
+            : bench::combo_cfg(PafForm::F1SQ_G1SQ, true, true, true, true, true);
+    cfg.max_groups_per_step = which == 0 ? 5 : 2;  // similar epoch budgets
+    smartpaf::Scheduler sched(m, ft_train, ft_val, cfg);
+    runs[which] = sched.run();
+    std::printf("\n[%s] initial %.1f%%, best DS %.1f%%, SS %.1f%% over %d epochs\n",
+                names[which], 100 * runs[which].initial_acc, 100 * runs[which].best_acc_ds,
+                100 * runs[which].acc_ss, runs[which].epochs_run);
+  }
+
+  for (int which = 0; which < 2; ++which) {
+    std::printf("\n-- %s trace (epoch, val acc, event) --\n", names[which]);
+    Table table({"epoch", "val_acc", "event"});
+    for (const auto& ev : runs[which].trace)
+      table.add_row({std::to_string(ev.epoch), bench::pct(ev.val_acc), ev.tag});
+    table.print(std::cout);
+    table.write_csv(bench::out_dir() + "/fig9_" + names[which] + ".csv");
+  }
+
+  std::printf("\nShape check: the baseline curve stalls or degrades across steps while\n"
+              "the SMART-PAF curve climbs after each replacement (paper Fig. 9).\n");
+
+  if (dump) {
+    std::printf("\n=== Appendix-B style dump: final per-layer PAF coefficients ===\n");
+    for (std::size_t i = 0; i < runs[1].final_coeffs.size(); ++i) {
+      std::printf("layer %2zu:", i);
+      for (double c : runs[1].final_coeffs[i])
+        if (c != 0.0) std::printf(" % .6f", c);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Pareto explorer: sweep the Table-2 PAF forms and print, for each, the
+// approximation quality, the analytic depth cost and a measured CKKS
+// PAF-ReLU latency — a fast way to pick the sweet-spot PAF for a latency
+// budget before committing to fine-tuning (the workflow behind Fig. 1).
+//
+// Usage:  ./build/examples/pareto_explorer [ring_n]   (default 8192)
+#include <cstdio>
+#include <cstdlib>
+
+#include "smartpaf/fhe_deploy.h"
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  const std::size_t ring_n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8192;
+
+  std::printf("building CKKS runtime (N=%zu, depth 12)...\n", ring_n);
+  smartpaf::FheRuntime rt(fhe::CkksParams::for_depth(ring_n, 12, 40));
+
+  std::printf("\n%-14s %6s %6s %12s %14s %12s\n", "form", "deg", "depth", "err@0.15",
+              "latency (ms)", "ms/slot(us)");
+  double base_ms = 0.0;
+  for (approx::PafForm form : approx::all_forms()) {
+    const auto paf = approx::make_paf(form);
+    const auto res = smartpaf::measure_paf_relu(rt, paf, 4.0, /*repeats=*/2);
+    if (base_ms == 0.0) base_ms = res.ms_median;  // first row = 27-degree baseline
+    std::printf("%-14s %6d %6d %12.4f %14.1f %12.2f   (%.2fx speedup)\n",
+                approx::form_name(form).c_str(), paf.degree_sum(), paf.mult_depth(),
+                paf.sign_error_max(0.15), res.ms_median,
+                1000.0 * res.ms_median / static_cast<double>(rt.ctx().slot_count()),
+                base_ms / res.ms_median);
+  }
+  std::printf("\nLower depth -> proportionally lower latency; accuracy recovery for the\n"
+              "low-degree rows is SMART-PAF's job (see bench_table3 / bench_fig9).\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "approx/composite.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sp::approx {
+
+CompositePaf::CompositePaf(std::string name, std::vector<Polynomial> stages)
+    : name_(std::move(name)), stages_(std::move(stages)) {
+  check(!stages_.empty(), "CompositePaf: at least one stage required");
+  rebuild_offsets();
+}
+
+void CompositePaf::rebuild_offsets() {
+  offsets_.resize(stages_.size());
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    offsets_[i] = pos;
+    pos += stages_[i].coeffs().size();
+  }
+}
+
+double CompositePaf::operator()(double x) const {
+  double v = x;
+  for (const auto& s : stages_) v = s(v);
+  return v;
+}
+
+int CompositePaf::degree_sum() const {
+  int d = 0;
+  for (const auto& s : stages_) d += s.degree();
+  return d;
+}
+
+long long CompositePaf::degree_product() const {
+  long long d = 1;
+  for (const auto& s : stages_) d *= s.degree();
+  return d;
+}
+
+int CompositePaf::mult_depth() const {
+  int depth = 0;
+  for (const auto& s : stages_) {
+    const int n = s.degree();
+    depth += static_cast<int>(std::ceil(std::log2(static_cast<double>(n) + 1.0)));
+  }
+  return depth;
+}
+
+int CompositePaf::num_coeffs() const {
+  int n = 0;
+  for (const auto& s : stages_) n += static_cast<int>(s.coeffs().size());
+  return n;
+}
+
+std::vector<double> CompositePaf::flatten_coeffs() const {
+  std::vector<double> flat;
+  flat.reserve(static_cast<std::size_t>(num_coeffs()));
+  for (const auto& s : stages_)
+    flat.insert(flat.end(), s.coeffs().begin(), s.coeffs().end());
+  return flat;
+}
+
+void CompositePaf::load_coeffs(const std::vector<double>& flat) {
+  check(static_cast<int>(flat.size()) == num_coeffs(),
+        "CompositePaf::load_coeffs: size mismatch");
+  std::size_t pos = 0;
+  for (auto& s : stages_) {
+    for (auto& c : s.coeffs()) c = flat[pos++];
+  }
+}
+
+double CompositePaf::forward(double x, Tape& tape) const {
+  tape.stage_inputs.clear();
+  double v = x;
+  for (const auto& s : stages_) {
+    tape.stage_inputs.push_back(v);
+    v = s(v);
+  }
+  tape.stage_inputs.push_back(v);  // final output, kept for symmetry
+  return v;
+}
+
+double CompositePaf::backward(const Tape& tape, double dy,
+                              std::vector<double>& coeff_grad) const {
+  check(tape.stage_inputs.size() == stages_.size() + 1,
+        "CompositePaf::backward: tape/stage mismatch");
+  check(coeff_grad.size() == static_cast<std::size_t>(num_coeffs()),
+        "CompositePaf::backward: grad buffer size mismatch");
+  // Walk stages in reverse; offsets_ holds the per-stage prefix sums.
+  const std::vector<std::size_t>& offset = offsets_;
+  double grad = dy;
+  for (std::size_t i = stages_.size(); i-- > 0;) {
+    const double v = tape.stage_inputs[i];
+    const auto& cs = stages_[i].coeffs();
+    // d stage / d coeff_k = v^k
+    double pow_v = 1.0;
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      coeff_grad[offset[i] + k] += grad * pow_v;
+      pow_v *= v;
+    }
+    grad *= stages_[i].derivative_at(v);
+  }
+  return grad;
+}
+
+double CompositePaf::sign_error_max(double eps, int samples) const {
+  double worst = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double t = eps + (1.0 - eps) * static_cast<double>(i) / (samples - 1);
+    worst = std::max(worst, std::abs((*this)(t)-1.0));
+    worst = std::max(worst, std::abs((*this)(-t) + 1.0));
+  }
+  return worst;
+}
+
+double CompositePaf::sign_error_mse(double eps, int samples) const {
+  double acc = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double t = eps + (1.0 - eps) * static_cast<double>(i) / (samples - 1);
+    const double ep = (*this)(t)-1.0;
+    const double en = (*this)(-t) + 1.0;
+    acc += ep * ep + en * en;
+  }
+  return acc / (2.0 * samples);
+}
+
+double paf_relu(const CompositePaf& p, double x) { return 0.5 * (x + x * p(x)); }
+
+double paf_max(const CompositePaf& p, double a, double b) {
+  const double d = a - b;
+  return 0.5 * ((a + b) + d * p(d));
+}
+
+}  // namespace sp::approx

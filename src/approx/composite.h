@@ -1,0 +1,87 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "approx/polynomial.h"
+
+namespace sp::approx {
+
+/// Composite PAF: a chain of polynomial stages applied left-to-right.
+///
+/// Paper notation (Eq. 8): "f1 ∘ g2" means g2(f1(x)), i.e. stages()[0] = f1
+/// runs first and stages()[1] = g2 runs last. Composite polynomials reach a
+/// much lower sign-approximation error than a single polynomial of the same
+/// multiplication depth (Cheon et al. 2020, Lee et al. 2021/2022).
+class CompositePaf {
+ public:
+  CompositePaf() = default;
+  CompositePaf(std::string name, std::vector<Polynomial> stages);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Polynomial>& stages() const { return stages_; }
+  std::vector<Polynomial>& stages() { return stages_; }
+
+  /// y = stage_{k-1}(... stage_0(x) ...).
+  double operator()(double x) const;
+
+  /// Sum of stage degrees — the paper's "degree" column in Table 2
+  /// (composition multiplies algebraic degree, but cost adds).
+  int degree_sum() const;
+
+  /// Algebraic degree of the fully-expanded composition (product of stage
+  /// degrees).
+  long long degree_product() const;
+
+  /// Total multiplication depth consumed when each degree-n stage is
+  /// evaluated with the exponentiation-by-squaring power ladder:
+  /// sum over stages of ceil(log2(n_i + 1)). Matches Appendix C / Table 2.
+  int mult_depth() const;
+
+  /// Number of scalar coefficients across all stages (trainable parameters).
+  int num_coeffs() const;
+
+  /// Flattened coefficient vector, stage 0 first.
+  std::vector<double> flatten_coeffs() const;
+
+  /// Replaces coefficients from a flattened vector (inverse of
+  /// flatten_coeffs; sizes must match).
+  void load_coeffs(const std::vector<double>& flat);
+
+  /// Evaluates while recording every intermediate stage input, so that
+  /// backward() can run reverse-mode differentiation.
+  struct Tape {
+    /// stage_inputs[i] is the input fed to stage i; stage_inputs.back() after
+    /// the final stage is the output y.
+    std::vector<double> stage_inputs;
+  };
+  double forward(double x, Tape& tape) const;
+
+  /// Reverse-mode gradients through the tape.
+  ///
+  /// Given dL/dy, returns dL/dx and accumulates dL/dc into `coeff_grad`
+  /// (flattened layout matching flatten_coeffs()).
+  double backward(const Tape& tape, double dy, std::vector<double>& coeff_grad) const;
+
+  /// Max |composite(x) - sign(x)| sampled on [-1,-eps] ∪ [eps,1].
+  double sign_error_max(double eps, int samples = 2000) const;
+
+  /// Mean squared (composite(x) - sign(x))^2 over the same sampling.
+  double sign_error_mse(double eps, int samples = 2000) const;
+
+ private:
+  void rebuild_offsets();
+
+  std::string name_;
+  std::vector<Polynomial> stages_;
+  std::vector<std::size_t> offsets_;  ///< flat-coefficient start per stage
+};
+
+/// ReLU built from a sign-approximating PAF: relu(x) ≈ (x + x·p(x)) / 2.
+/// Inputs are expected pre-scaled into the PAF's accurate range.
+double paf_relu(const CompositePaf& p, double x);
+
+/// max(a,b) ≈ ((a+b) + (a-b)·p(a-b)) / 2 (paper §2.2).
+double paf_max(const CompositePaf& p, double a, double b);
+
+}  // namespace sp::approx

@@ -1,0 +1,64 @@
+#include "approx/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sp::approx {
+
+DistributionProfile::DistributionProfile(std::size_t reservoir_capacity,
+                                         std::uint64_t seed)
+    : capacity_(reservoir_capacity), rng_(seed) {
+  check(capacity_ >= 16, "DistributionProfile: capacity too small");
+  reservoir_.reserve(capacity_);
+}
+
+void DistributionProfile::record(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  abs_max_ = std::max(abs_max_, std::abs(x));
+  ++n_;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(x);
+  } else {
+    // Vitter's algorithm R.
+    const auto j = static_cast<std::size_t>(
+        rng_.randint(0, static_cast<std::int64_t>(n_) - 1));
+    if (j < capacity_) reservoir_[j] = x;
+  }
+}
+
+void DistributionProfile::record(const std::vector<float>& xs) {
+  for (float x : xs) record(static_cast<double>(x));
+}
+
+double DistributionProfile::quantile(double q) const {
+  check(!reservoir_.empty(), "DistributionProfile::quantile: empty profile");
+  std::vector<double> v(reservoir_);
+  std::sort(v.begin(), v.end());
+  const double rank = std::clamp(q, 0.0, 1.0) * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+std::vector<double> DistributionProfile::histogram(int bins) const {
+  check(bins >= 1, "DistributionProfile::histogram: bins >= 1");
+  std::vector<double> h(static_cast<std::size_t>(bins), 0.0);
+  if (reservoir_.empty() || max_ <= min_) return h;
+  for (double x : reservoir_) {
+    auto b = static_cast<long>((x - min_) / (max_ - min_) * bins);
+    b = std::clamp(b, 0L, static_cast<long>(bins) - 1);
+    h[static_cast<std::size_t>(b)] += 1.0;
+  }
+  for (auto& v : h) v /= static_cast<double>(reservoir_.size());
+  return h;
+}
+
+}  // namespace sp::approx

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sp::approx {
+
+/// Profile of the input-value distribution of a non-polynomial operator,
+/// collected during calibration forward passes (paper §4.2 step 2).
+///
+/// Keeps a bounded reservoir sample (for weighted refitting) plus running
+/// min/max/absolute-max statistics (Static Scaling uses the running
+/// absolute max, paper §4.5).
+class DistributionProfile {
+ public:
+  explicit DistributionProfile(std::size_t reservoir_capacity = 16384,
+                               std::uint64_t seed = 17);
+
+  /// Records one observed input value.
+  void record(double x);
+
+  /// Records a batch of values.
+  void record(const std::vector<float>& xs);
+
+  std::size_t count() const { return n_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Running maximum of |x| over everything recorded so far.
+  double abs_max() const { return abs_max_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Uniform reservoir sample of the recorded values.
+  const std::vector<double>& reservoir() const { return reservoir_; }
+
+  /// Empirical quantile (0..1) computed from the reservoir.
+  double quantile(double q) const;
+
+  /// Histogram over [min,max] with `bins` buckets, normalized to sum 1.
+  std::vector<double> histogram(int bins) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t n_ = 0;
+  double min_ = 0.0, max_ = 0.0, abs_max_ = 0.0;
+  std::vector<double> reservoir_;
+  sp::Rng rng_;
+};
+
+}  // namespace sp::approx

@@ -1,0 +1,104 @@
+#include "approx/polynomial.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sp::approx {
+
+Polynomial::Polynomial(std::vector<double> coeffs) : c_(std::move(coeffs)) {
+  if (c_.empty()) c_.push_back(0.0);
+}
+
+int Polynomial::degree() const {
+  return c_.empty() ? 0 : static_cast<int>(c_.size()) - 1;
+}
+
+double Polynomial::coeff(int i) const {
+  if (i < 0 || i >= static_cast<int>(c_.size())) return 0.0;
+  return c_[static_cast<std::size_t>(i)];
+}
+
+double Polynomial::operator()(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = c_.size(); i-- > 0;) acc = acc * x + c_[i];
+  return acc;
+}
+
+double Polynomial::derivative_at(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = c_.size(); i-- > 1;)
+    acc = acc * x + c_[i] * static_cast<double>(i);
+  return acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (c_.size() <= 1) return Polynomial({0.0});
+  std::vector<double> d(c_.size() - 1);
+  for (std::size_t i = 1; i < c_.size(); ++i)
+    d[i - 1] = c_[i] * static_cast<double>(i);
+  return Polynomial(std::move(d));
+}
+
+bool Polynomial::is_odd(double tol) const {
+  for (std::size_t i = 0; i < c_.size(); i += 2)
+    if (std::abs(c_[i]) > tol) return false;
+  return true;
+}
+
+Polynomial Polynomial::operator+(const Polynomial& o) const {
+  std::vector<double> r(std::max(c_.size(), o.c_.size()), 0.0);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = coeff(static_cast<int>(i)) + o.coeff(static_cast<int>(i));
+  return Polynomial(std::move(r));
+}
+
+Polynomial Polynomial::operator-(const Polynomial& o) const {
+  std::vector<double> r(std::max(c_.size(), o.c_.size()), 0.0);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = coeff(static_cast<int>(i)) - o.coeff(static_cast<int>(i));
+  return Polynomial(std::move(r));
+}
+
+Polynomial Polynomial::operator*(const Polynomial& o) const {
+  std::vector<double> r(c_.size() + o.c_.size() - 1, 0.0);
+  for (std::size_t i = 0; i < c_.size(); ++i)
+    for (std::size_t j = 0; j < o.c_.size(); ++j) r[i + j] += c_[i] * o.c_[j];
+  return Polynomial(std::move(r));
+}
+
+Polynomial Polynomial::scaled(double s) const {
+  std::vector<double> r(c_);
+  for (auto& v : r) v *= s;
+  return Polynomial(std::move(r));
+}
+
+Polynomial Polynomial::compose(const Polynomial& inner) const {
+  // Horner on polynomials: result = (((c_n * inner) + c_{n-1}) * inner) + ...
+  Polynomial result({0.0});
+  for (std::size_t i = c_.size(); i-- > 0;) {
+    result = result * inner;
+    result = result + Polynomial({c_[i]});
+  }
+  return result;
+}
+
+std::string Polynomial::to_string(int precision) const {
+  std::ostringstream os;
+  os << std::setprecision(precision);
+  bool first = true;
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i] == 0.0 && c_.size() > 1) continue;
+    if (!first) os << (c_[i] < 0 ? " - " : " + ");
+    else if (c_[i] < 0)
+      os << "-";
+    os << std::abs(c_[i]);
+    if (i >= 1) os << "x";
+    if (i >= 2) os << "^" << i;
+    first = false;
+  }
+  if (first) os << "0";
+  return os.str();
+}
+
+}  // namespace sp::approx

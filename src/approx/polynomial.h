@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sp::approx {
+
+/// Dense univariate polynomial with real coefficients in ascending order:
+/// p(x) = c[0] + c[1] x + ... + c[n] x^n.
+///
+/// This is the scalar building block of every PAF (polynomial approximated
+/// function) in the library. Evaluation uses Horner's rule; the FHE
+/// evaluator uses its own power-ladder schedule (see fhe/poly_eval.h) so the
+/// multiplication *depth* matches Appendix C of the paper.
+class Polynomial {
+ public:
+  Polynomial() = default;
+  /// Constructs from ascending coefficients; trailing zeros are kept (degree
+  /// reports the index of the last structurally-present coefficient).
+  explicit Polynomial(std::vector<double> coeffs);
+
+  /// Degree (index of highest coefficient; 0 for empty/constant).
+  int degree() const;
+
+  /// Coefficient access (0 outside the stored range).
+  double coeff(int i) const;
+  std::vector<double>& coeffs() { return c_; }
+  const std::vector<double>& coeffs() const { return c_; }
+
+  /// Horner evaluation.
+  double operator()(double x) const;
+
+  /// First derivative p'(x).
+  double derivative_at(double x) const;
+
+  /// Returns the derivative polynomial.
+  Polynomial derivative() const;
+
+  /// True if all even-degree coefficients are (numerically) zero.
+  /// Sign-approximating PAFs are odd functions.
+  bool is_odd(double tol = 1e-12) const;
+
+  /// Polynomial algebra (used by tests and by symbolic composition).
+  Polynomial operator+(const Polynomial& o) const;
+  Polynomial operator-(const Polynomial& o) const;
+  Polynomial operator*(const Polynomial& o) const;
+  Polynomial scaled(double s) const;
+
+  /// Symbolic composition q(p(x)); degree multiplies. Test-oriented: the
+  /// runtime PAF path evaluates stages sequentially instead.
+  Polynomial compose(const Polynomial& inner) const;
+
+  /// Human-readable form like "1.5x - 0.5x^3".
+  std::string to_string(int precision = 6) const;
+
+ private:
+  std::vector<double> c_;
+};
+
+}  // namespace sp::approx

@@ -1,0 +1,284 @@
+#include "approx/presets.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "approx/remez.h"
+#include "common/check.h"
+
+namespace sp::approx {
+namespace {
+
+/// Builds an odd polynomial from its odd coefficients (c[k] scales x^(2k+1)).
+Polynomial odd(std::initializer_list<double> odd_coeffs) {
+  std::vector<double> c(2 * odd_coeffs.size(), 0.0);
+  std::size_t k = 0;
+  for (double v : odd_coeffs) c[2 * k++ + 1] = v;
+  return Polynomial(std::move(c));
+}
+
+/// Expands rows of odd-only coefficients (grouped per stage) into the
+/// flattened full-coefficient layout of CompositePaf::load_coeffs.
+/// `stage_odd_counts` lists, per stage, how many odd coefficients the row
+/// holds for that stage.
+std::vector<std::vector<double>> expand_rows(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<int>& stage_odd_counts) {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<double> flat;
+    std::size_t pos = 0;
+    for (int n_odd : stage_odd_counts) {
+      std::vector<double> stage(2 * static_cast<std::size_t>(n_odd), 0.0);
+      for (int k = 0; k < n_odd; ++k) stage[2 * static_cast<std::size_t>(k) + 1] = row[pos++];
+      flat.insert(flat.end(), stage.begin(), stage.end());
+    }
+    sp::check(pos == row.size(), "expand_rows: row arity mismatch");
+    out.push_back(std::move(flat));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Post-training coefficients published in the paper's Appendix B.
+// Layout per row: stage-0 odd coefficients then stage-1 odd coefficients
+// (and so on), ReLU layer ids 0..16 of ResNet-18 (ImageNet-1k).
+// ---------------------------------------------------------------------------
+
+// Table 6: f1 ∘ g2 — columns c1 c3 | d1 d3 d5.
+const std::vector<std::vector<double>> kF1G2Rows = {
+    {3.064987659, -4.359854698, 3.644091129, -7.056697369, 4.412326813},
+    {2.939064741, -3.989520550, 3.756805420, -7.105865479, 4.209794998},
+    {2.962512255, -4.095692158, 3.725888252, -7.275540352, 4.892793179},
+    {2.996977568, -4.153297901, 3.783520699, -7.263069630, 4.682956696},
+    {2.898474693, -4.044208527, 3.641639471, -7.243083000, 4.771345139},
+    {2.895201445, -3.905539751, 3.689141512, -7.129144192, 4.736110687},
+    {3.018208981, -4.113882542, 3.705801964, -7.180747986, 4.518863201},
+    {2.848899364, -3.874762058, 3.611979723, -6.771905422, 4.524455547},
+    {3.008141994, -4.087264061, 3.836204052, -7.746193886, 4.919332504},
+    {2.968442440, -3.986024141, 3.703149557, -7.153123856, 4.776097775},
+    {2.900203228, -3.924145937, 3.688660622, -7.306476593, 4.663645267},
+    {2.782385111, -3.684296608, 3.651248932, -6.951449394, 4.715543270},
+    {2.958166838, -3.980643034, 3.829906940, -7.610838890, 4.719619274},
+    {2.811106443, -3.719117880, 3.632898569, -6.837011814, 4.688860893},
+    {2.911352396, -3.886567831, 3.674616098, -6.988801003, 4.670355797},
+    {2.796648502, -3.706235886, 3.595447540, -6.843948841, 4.560091972},
+    {3.042621136, -3.979726553, 3.910200596, -7.521365166, 4.733543873},
+};
+
+// Table 9: f1^2 ∘ g1^2 — columns c0_1 c0_3 c1_1 c1_3 | d0_1 d0_3 d1_1 d1_3.
+const std::vector<std::vector<double>> kF1SqG1SqRows = {
+    {2.736806631, -3.864239931, 2.115309238, -2.268822908, 2.239115477, -2.424801588, 2.189934731, -1.481475353},
+    {2.609737396, -2.629375458, 2.115823507, -1.854049206, 2.300836086, -2.241225243, 2.231765747, -1.455139399},
+    {2.572752714, -2.620458364, 2.008517504, -1.673257470, 2.017426491, -1.779745221, 2.066540718, -1.300397515},
+    {2.874353647, -3.495954990, 2.073785543, -1.728460550, 2.091589212, -1.851963162, 2.141039133, -1.372249603},
+    {2.588399172, -3.086382866, 2.018457890, -1.867060781, 1.999999881, -1.845559597, 2.052644968, -1.279196978},
+    {2.604569435, -2.614924431, 1.933326840, -1.466841698, 1.942190886, -1.626866937, 2.105185270, -1.243854761},
+    {2.510973692, -2.517734289, 2.132683754, -2.017316103, 2.235149622, -2.204242945, 2.183528662, -1.424280167},
+    {2.751836777, -2.765525579, 2.021913052, -1.521527886, 2.008341789, -1.650658488, 2.125827074, -1.320276856},
+    {2.517604351, -2.519313574, 2.131887913, -1.986418962, 2.247759819, -2.206320763, 2.191907883, -1.425198913},
+    {2.562408924, -2.520729303, 2.110760212, -1.814227581, 2.062101603, -1.789000034, 2.126989841, -1.338556409},
+    {2.437770844, -2.398545027, 2.016869307, -1.811605096, 2.103379965, -1.996958494, 2.111694336, -1.308108330},
+    {2.781474829, -2.742717981, 2.020370960, -1.498650432, 2.043134928, -1.701895356, 2.140466452, -1.345968127},
+    {2.483508587, -2.447231293, 2.057531595, -1.836180925, 2.189022541, -2.110060215, 2.162631512, -1.370931029},
+    {2.787295341, -2.709958792, 2.009286880, -1.456294537, 2.007162809, -1.627877712, 2.114115715, -1.327487946},
+    {2.674963474, -2.604590893, 2.028381109, -1.637359142, 2.129605532, -1.939982772, 2.159248829, -1.392939448},
+    {2.731667519, -2.661221027, 2.026224852, -1.519181132, 2.036108494, -1.692675114, 2.118255377, -1.338307023},
+    {2.670770168, -2.607930183, 2.119180441, -1.756756186, 2.236502171, -2.061469316, 2.230870724, -1.458180070},
+};
+
+// Table 10: f2 ∘ g3 — columns c1 c3 c5 | d1 d3 d5 d7.
+const std::vector<std::vector<double>> kF2G3Rows = {
+    {3.487593412, -6.971315384, 2.381806374, 4.736026287, -16.16058159, 25.20542908, -13.1174},
+    {3.484929323, -7.034649372, 3.685389519, 4.983552456, -17.01627541, 25.34817886, -12.4504},
+    {3.312547922, -6.849102974, 3.659186125, 4.616300583, -15.70791912, 25.24704933, -13.7765},
+    {3.429539680, -7.291306973, 3.949234486, 4.785545349, -16.25030518, 25.22435379, -13.1702},
+    {3.550015688, -7.992001534, 3.389156818, 4.644083023, -15.87583256, 25.47412872, -13.8047},
+    {3.484149933, -7.679964066, 3.130941153, 4.651588440, -15.79552174, 25.19073868, -13.6172},
+    {1.875000000, -1.250000000, 0.375000000, 4.481445313, -16.18847656, 25.01367188, -12.5586},
+    {3.137469292, -6.013744831, 2.900674343, 4.600552082, -15.52524090, 24.95741463, -13.7303},
+    {3.355214119, -5.686008930, 1.215050697, 4.856618881, -16.73614693, 25.50185585, -12.7147},
+    {3.605870724, -9.147006989, 6.160003185, 4.596205711, -15.64334202, 25.45436478, -14.1617},
+    {3.669521809, -8.906849861, 5.655775070, 4.712775707, -16.15146828, 25.63137817, -13.6679},
+    {3.432019472, -8.035040855, 4.964941978, 4.565317631, -15.44346809, 25.10269928, -13.9918},
+    {3.677670956, -8.380808830, 4.933722496, 4.846800804, -16.69511223, 25.66197395, -13.0236},
+    {3.383493662, -8.223423958, 5.385590076, 4.520639420, -15.19449425, 24.95398140, -14.2344},
+    {3.321483850, -7.110795498, 4.014864445, 4.572896957, -15.55243587, 25.26078415, -14.0067},
+    {3.381628513, -7.793000221, 4.806651115, 4.586762428, -15.50544167, 25.14218521, -14.0126},
+    {3.627621889, -8.305987358, 5.061814785, 4.829498291, -16.53964996, 25.57732391, -13.1699},
+};
+
+// Table 11: f2 ∘ g2 — columns c1 c3 c5 | d1 d3 d5.
+const std::vector<std::vector<double>> kF2G2Rows = {
+    {3.632708073, -8.879578590, 4.333632946, 3.700465441, -7.351731300, 5.071476460},
+    {3.412810802, -7.752333164, 4.516210556, 3.855783939, -7.789761543, 5.177268505},
+    {3.355527401, -8.588312149, 5.618574142, 3.640014887, -7.615984440, 5.668038368},
+    {3.533123493, -9.278223038, 6.205972672, 3.779361486, -7.770857811, 5.565216064},
+    {1.875000000, -1.250000000, 0.375000000, 3.255859375, -5.964843750, 3.707031250},
+    {3.421332598, -9.231142044, 6.353975773, 3.687772274, -7.753697395, 5.787805080},
+    {3.494106293, -8.028047562, 3.792766333, 3.851673841, -8.117405891, 5.920250893},
+    {3.236023188, -7.844894886, 4.858978271, 3.662446976, -7.398378849, 5.480692863},
+    {3.308430910, -7.289185524, 3.084533691, 3.766145468, -8.078896523, 5.651748657},
+    {3.438756227, -9.819555283, 7.128154278, 3.620871305, -7.664072514, 5.793798447},
+    {3.470819712, -9.487674713, 6.564511299, 3.746651173, -8.130080223, 6.042979240},
+    {3.344857931, -8.513930321, 5.686520100, 3.717740774, -7.314604759, 5.406781673},
+    {3.561307669, -9.413117409, 6.282663822, 3.941442251, -8.642221451, 6.365680695},
+    {3.235330582, -8.009678841, 5.256969452, 3.645334482, -7.250671864, 5.429522514},
+    {3.269543648, -7.355520248, 4.257196426, 3.702267408, -7.359237194, 5.368722439},
+    {3.318752050, -8.203745842, 5.435956478, 3.630973339, -7.331366062, 5.393109322},
+    {3.595479012, -9.167343140, 6.192716122, 3.955091715, -8.303151131, 6.023469925},
+};
+
+}  // namespace
+
+std::string form_name(PafForm form) {
+  switch (form) {
+    case PafForm::F1_G2: return "f1.g2";
+    case PafForm::F2_G2: return "f2.g2";
+    case PafForm::F2_G3: return "f2.g3";
+    case PafForm::ALPHA7: return "alpha=7";
+    case PafForm::F1SQ_G1SQ: return "f1^2.g1^2";
+    case PafForm::ALPHA10_D27: return "alpha=10(d27)";
+  }
+  return "?";
+}
+
+std::vector<PafForm> all_forms() {
+  return {PafForm::ALPHA10_D27, PafForm::F1SQ_G1SQ, PafForm::ALPHA7,
+          PafForm::F2_G3, PafForm::F2_G2, PafForm::F1_G2};
+}
+
+std::vector<PafForm> trainable_forms() {
+  return {PafForm::F1SQ_G1SQ, PafForm::ALPHA7, PafForm::F2_G3, PafForm::F2_G2,
+          PafForm::F1_G2};
+}
+
+Polynomial base_f(int k) {
+  // Cheon et al. 2020, f_n(x) = sum_{i<=n} (1/4^i) C(2i,i) x (1-x^2)^i,
+  // expanded to exact rational monomial coefficients.
+  switch (k) {
+    case 1: return odd({3.0 / 2.0, -1.0 / 2.0});
+    case 2: return odd({15.0 / 8.0, -10.0 / 8.0, 3.0 / 8.0});
+    case 3: return odd({35.0 / 16.0, -35.0 / 16.0, 21.0 / 16.0, -5.0 / 16.0});
+    default: break;
+  }
+  throw sp::Error("base_f: k must be 1..3");
+}
+
+Polynomial base_g(int k) {
+  // Cheon et al. 2020, degree-(2n+1) g_n minimax-like bases (x 2^-10).
+  switch (k) {
+    case 1: return odd({2126.0 / 1024.0, -1359.0 / 1024.0});
+    case 2: return odd({3334.0 / 1024.0, -6108.0 / 1024.0, 3796.0 / 1024.0});
+    case 3:
+      return odd({4589.0 / 1024.0, -16577.0 / 1024.0, 25614.0 / 1024.0,
+                  -12860.0 / 1024.0});
+    default: break;
+  }
+  throw sp::Error("base_g: k must be 1..3");
+}
+
+CompositePaf make_paf(PafForm form) {
+  switch (form) {
+    case PafForm::F1_G2:
+      return CompositePaf(form_name(form), {base_f(1), base_g(2)});
+    case PafForm::F2_G2:
+      return CompositePaf(form_name(form), {base_f(2), base_g(2)});
+    case PafForm::F2_G3:
+      return CompositePaf(form_name(form), {base_f(2), base_g(3)});
+    case PafForm::ALPHA7: {
+      // Lee et al. 2021 minimax composite (Table 7, odd entries only).
+      const Polynomial p1 = odd({7.304451, -34.68258667, 59.85965347, -31.87552261});
+      const Polynomial p2 = odd({2.400856, -2.631254435, 1.549126744, -0.331172943});
+      return CompositePaf(form_name(form), {p1, p2});
+    }
+    case PafForm::F1SQ_G1SQ:
+      return CompositePaf(form_name(form),
+                          {base_f(1), base_f(1), base_g(1), base_g(1)});
+    case PafForm::ALPHA10_D27:
+      // 27-degree, depth-10 minimax baseline built with the iterative
+      // Lee-et-al.-style composite construction (the paper does not publish
+      // its exact alpha=10 coefficients; this achieves max sign error
+      // ~8e-5 for |x| >= 0.02, comfortably past the alpha=10 target).
+      return make_minimax_composite({7, 7, 13}, 0.02, form_name(form));
+  }
+  throw sp::Error("make_paf: unknown form");
+}
+
+int paper_degree_label(PafForm form) {
+  switch (form) {
+    case PafForm::F1_G2: return 5;
+    case PafForm::F2_G2: return 10;
+    case PafForm::F2_G3: return 12;
+    case PafForm::ALPHA7: return 12;
+    case PafForm::F1SQ_G1SQ: return 14;
+    case PafForm::ALPHA10_D27: return 27;
+  }
+  return 0;
+}
+
+int paper_mult_depth(PafForm form) {
+  switch (form) {
+    case PafForm::F1_G2: return 5;
+    case PafForm::F2_G2: return 6;
+    case PafForm::F2_G3: return 6;
+    case PafForm::ALPHA7: return 6;
+    case PafForm::F1SQ_G1SQ: return 8;
+    case PafForm::ALPHA10_D27: return 10;
+  }
+  return 0;
+}
+
+std::vector<std::vector<double>> paper_trained_coeffs(PafForm form) {
+  switch (form) {
+    case PafForm::F1_G2: return expand_rows(kF1G2Rows, {2, 3});
+    case PafForm::F2_G2: return expand_rows(kF2G2Rows, {3, 3});
+    case PafForm::F2_G3: return expand_rows(kF2G3Rows, {3, 4});
+    case PafForm::F1SQ_G1SQ: return expand_rows(kF1SqG1SqRows, {2, 2, 2, 2});
+    default: return {};
+  }
+}
+
+std::vector<double> paper_alpha7_coeffs() {
+  const auto rows = expand_rows(
+      {{7.304451, -34.68258667, 59.85965347, -31.87552261, 2.400856,
+        -2.631254435, 1.549126744, -0.331172943}},
+      {4, 4});
+  return rows.front();
+}
+
+std::vector<std::string> depth_schedule(const CompositePaf& paf) {
+  std::vector<std::string> lines;
+  int depth = 0;
+  int stage_idx = 0;
+  std::string in = "x";
+  for (const auto& stage : paf.stages()) {
+    const int n = stage.degree();
+    const int d = static_cast<int>(std::ceil(std::log2(static_cast<double>(n) + 1.0)));
+    std::ostringstream head;
+    head << "depth " << depth << ": stage " << stage_idx << " input " << in
+         << " (degree " << n << ")";
+    lines.push_back(head.str());
+    // Power ladder: squares at each level, odd powers formed alongside.
+    for (int level = 1; level <= d; ++level) {
+      std::ostringstream os;
+      os << "depth " << depth + level << ": ";
+      if (level < d) {
+        os << in << "^" << (1 << level) << " by squaring; odd powers up to "
+           << ((1 << (level + 1)) - 1);
+      } else {
+        os << "combine terms -> y" << stage_idx << " = stage" << stage_idx << "(" << in
+           << ")";
+      }
+      lines.push_back(os.str());
+    }
+    depth += d;
+    in = "y" + std::to_string(stage_idx);
+    ++stage_idx;
+  }
+  lines.push_back("total multiplication depth: " + std::to_string(depth));
+  return lines;
+}
+
+}  // namespace sp::approx

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "approx/composite.h"
+
+namespace sp::approx {
+
+/// The six PAF forms of Table 2, in ascending-cost order.
+///
+/// Paper composition notation: "f1 ∘ g2" applies f1 first, g2 last
+/// (Eq. 8: f1 ∘ g2 = g2(f1(x))). f-bases contract values toward ±1 and the
+/// final g-base snaps them to ±1 (Cheon et al. 2020).
+enum class PafForm {
+  F1_G2,       ///< degree label 5,  depth 5
+  F2_G2,       ///< degree label 10, depth 6
+  F2_G3,       ///< degree label 12, depth 6
+  ALPHA7,      ///< minimax alpha=7 (Lee et al. 2021), degree label 12, depth 6
+  F1SQ_G1SQ,   ///< f1^2 ∘ g1^2, the paper's sweet spot; degree label 14, depth 8
+  ALPHA10_D27, ///< 27-degree minimax baseline (depth 10)
+};
+
+/// Short display name matching the paper ("f1∘g2", "alpha=7", ...).
+std::string form_name(PafForm form);
+
+/// All six forms in Table-2 order (highest degree first, as printed).
+std::vector<PafForm> all_forms();
+
+/// The five trainable forms evaluated in Fig. 7/8 and Table 3 (everything
+/// except the 27-degree baseline).
+std::vector<PafForm> trainable_forms();
+
+/// Cheon et al. 2020 basis polynomials f_k (k = 1..3): odd, contract toward
+/// the sign; exact published rational coefficients.
+Polynomial base_f(int k);
+
+/// Cheon et al. 2020 basis polynomials g_k (k = 1..3).
+Polynomial base_g(int k);
+
+/// Builds a PAF with its *initial* (pre-CT, pre-training) coefficients:
+/// Cheon bases for the f/g forms, published minimax coefficients for
+/// alpha=7, and a Remez-constructed composite for the 27-degree baseline.
+CompositePaf make_paf(PafForm form);
+
+/// The "Degree" row of Table 2 (the paper's labels: 5/10/12/12/14/27).
+int paper_degree_label(PafForm form);
+
+/// The "Multiplication Depth" row of Table 2 (5/6/6/6/8/10).
+int paper_mult_depth(PafForm form);
+
+/// Paper-published post-training coefficients (Appendix B, Tables 6/9/10/11):
+/// per ReLU layer (0..16 for ResNet-18) the flattened coefficient vector in
+/// CompositePaf::load_coeffs layout. Empty if the paper publishes none for
+/// this form (ALPHA7's trained coefficients are global — see
+/// paper_alpha7_coeffs; ALPHA10_D27 has none).
+std::vector<std::vector<double>> paper_trained_coeffs(PafForm form);
+
+/// Table 7: the single published coefficient set of the alpha=7 minimax
+/// composite (flattened load_coeffs layout).
+std::vector<double> paper_alpha7_coeffs();
+
+/// One line of the Appendix-C power ladder per multiplication-depth level
+/// for this PAF (reproduces the Fig. 10 / Table 8 schedule).
+std::vector<std::string> depth_schedule(const CompositePaf& paf);
+
+}  // namespace sp::approx

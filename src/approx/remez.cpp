@@ -1,0 +1,114 @@
+#include "approx/remez.h"
+
+#include <cmath>
+#include <vector>
+
+#include "approx/fit.h"
+#include "common/check.h"
+
+namespace sp::approx {
+namespace {
+
+/// Builds the odd polynomial whose odd coefficients are `c` (c[k] multiplies
+/// x^(2k+1)).
+Polynomial odd_poly(const std::vector<double>& c) {
+  std::vector<double> coeffs(2 * c.size(), 0.0);
+  for (std::size_t k = 0; k < c.size(); ++k) coeffs[2 * k + 1] = c[k];
+  return Polynomial(std::move(coeffs));
+}
+
+}  // namespace
+
+RemezResult remez_sign(int degree, double eps, int max_iters, int grid) {
+  check(degree >= 1 && degree % 2 == 1, "remez_sign: degree must be odd");
+  check(eps > 0.0 && eps < 1.0, "remez_sign: eps in (0,1) required");
+  const std::size_t m = static_cast<std::size_t>((degree + 1) / 2);  // free coefficients
+  // Initial reference: Chebyshev-like nodes on [eps, 1], m+1 of them.
+  std::vector<double> ref(m + 1);
+  for (std::size_t i = 0; i <= m; ++i) {
+    const double t = std::cos(M_PI * static_cast<double>(m - i) / static_cast<double>(m));
+    ref[i] = eps + (1.0 - eps) * 0.5 * (t + 1.0);
+  }
+
+  RemezResult result;
+  double prev_err = -1.0;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // Solve p(x_i) + (-1)^i E = 1 for the m coefficients and E.
+    const std::size_t n = m + 1;
+    std::vector<long double> a(n * n, 0.0L), b(n, 1.0L);
+    for (std::size_t i = 0; i < n; ++i) {
+      long double xp = ref[i];
+      const long double x2 = static_cast<long double>(ref[i]) * ref[i];
+      for (std::size_t k = 0; k < m; ++k) {
+        a[i * n + k] = xp;
+        xp *= x2;
+      }
+      a[i * n + m] = (i % 2 == 0) ? 1.0L : -1.0L;
+    }
+    std::vector<double> sol = solve_linear(std::move(a), std::move(b));
+    std::vector<double> coeffs(sol.begin(), sol.begin() + static_cast<long>(m));
+    const double level = std::abs(sol[m]);
+    Polynomial p = odd_poly(coeffs);
+
+    // Locate alternating extrema of e(x) = p(x) - 1 on a dense grid.
+    std::vector<double> xs(static_cast<std::size_t>(grid)), es(static_cast<std::size_t>(grid));
+    for (int i = 0; i < grid; ++i) {
+      xs[static_cast<std::size_t>(i)] = eps + (1.0 - eps) * static_cast<double>(i) / (grid - 1);
+      es[static_cast<std::size_t>(i)] = p(xs[static_cast<std::size_t>(i)]) - 1.0;
+    }
+    // Greedy scan: keep the largest |e| in each run of constant sign.
+    std::vector<double> new_ref;
+    std::size_t i = 0;
+    while (i < xs.size()) {
+      const bool pos = es[i] >= 0.0;
+      std::size_t best = i;
+      while (i < xs.size() && (es[i] >= 0.0) == pos) {
+        if (std::abs(es[i]) > std::abs(es[best])) best = i;
+        ++i;
+      }
+      new_ref.push_back(xs[best]);
+    }
+    // Keep exactly m+1 alternating points: trim from the side with the
+    // smaller error if we found more sign runs than needed.
+    while (new_ref.size() > m + 1) {
+      const double e_front = std::abs(p(new_ref.front()) - 1.0);
+      const double e_back = std::abs(p(new_ref.back()) - 1.0);
+      if (e_front < e_back)
+        new_ref.erase(new_ref.begin());
+      else
+        new_ref.pop_back();
+    }
+    result.poly = p;
+    result.minimax_error = level;
+    result.iterations = iter + 1;
+    if (new_ref.size() < m + 1) break;  // error already below grid resolution
+    ref = new_ref;
+    if (prev_err >= 0.0 && std::abs(level - prev_err) < 1e-14) break;
+    prev_err = level;
+  }
+  return result;
+}
+
+CompositePaf make_minimax_composite(const std::vector<int>& degrees, double eps0,
+                                    const std::string& name) {
+  check(!degrees.empty(), "make_minimax_composite: no stages");
+  double lo = eps0, hi = 1.0;
+  std::vector<Polynomial> stages;
+  for (int d : degrees) {
+    const RemezResult r = remez_sign(d, lo / hi);
+    // The fit lives on [lo/hi, 1]; substitute x -> x/hi so the stage accepts
+    // the previous stage's raw output range [lo, hi].
+    std::vector<double> c = r.poly.coeffs();
+    double p = 1.0;
+    for (auto& ck : c) {
+      ck /= p;
+      p *= hi;
+    }
+    stages.emplace_back(std::move(c));
+    lo = 1.0 - r.minimax_error;
+    hi = 1.0 + r.minimax_error;
+  }
+  return CompositePaf(name, std::move(stages));
+}
+
+}  // namespace sp::approx

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "approx/composite.h"
+#include "approx/polynomial.h"
+
+namespace sp::approx {
+
+/// Result of a Remez exchange run.
+struct RemezResult {
+  Polynomial poly;          ///< odd minimax polynomial
+  double minimax_error = 0; ///< achieved equioscillating error magnitude
+  int iterations = 0;       ///< exchange iterations performed
+};
+
+/// Minimax approximation of sign(x) on [-1,-eps] ∪ [eps,1] by an *odd*
+/// polynomial of odd degree `degree`, via the Remez exchange algorithm.
+///
+/// By odd symmetry this reduces to the Chebyshev problem of approximating the
+/// constant 1 on [eps, 1] with the basis {x, x^3, ..., x^degree}. This is the
+/// classical construction used by the minimax baselines (Lee et al. 2021)
+/// that SMART-PAF compares against.
+RemezResult remez_sign(int degree, double eps, int max_iters = 50,
+                       int grid = 8192);
+
+/// Iterative composite minimax sign approximation (Lee et al. 2021 style):
+/// stage k is the minimax fit on the output range of the previous stages, so
+/// each stage contracts the residual interval [1-e, 1+e] toward ±1.
+///
+/// `degrees` lists the (odd) stage degrees applied first-to-last; `eps0` is
+/// the smallest input magnitude the composite must classify. The returned
+/// composite has multiplication depth sum(ceil(log2(d_i + 1))).
+CompositePaf make_minimax_composite(const std::vector<int>& degrees, double eps0,
+                                    const std::string& name = "minimax");
+
+}  // namespace sp::approx

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sp {
+
+/// Deterministic random number generator used throughout the library.
+///
+/// Every stochastic component (dataset synthesis, weight init, encryption
+/// noise, dropout, ...) takes an explicit Rng so experiments are exactly
+/// reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : gen_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// Standard normal (mean 0, stddev 1) scaled by `stddev`.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t randint(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() { return gen_(); }
+
+  /// Uniform element of {-1, 0, 1} (ternary secret distribution).
+  int ternary() { return static_cast<int>(randint(-1, 1)); }
+
+  /// Bernoulli(p).
+  bool coin(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), gen_);
+  }
+
+  /// Underlying engine, for std distributions not wrapped above.
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace sp

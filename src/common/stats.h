@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sp {
+
+/// Streaming summary statistics (count / mean / min / max / stddev).
+class RunningStats {
+ public:
+  /// Folds one observation into the summary.
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Sample standard deviation (0 for fewer than 2 observations).
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Median of `v` (by copy; v may be unsorted). Returns 0 for empty input.
+double median(std::vector<double> v);
+
+/// p-th percentile (0..100) by nearest-rank on a copy of `v`.
+double percentile(std::vector<double> v, double p);
+
+}  // namespace sp

@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  check(row.size() == header_.size(), "Table::add_row: arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  check(f.good(), "Table::write_csv: cannot open " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) f << ',';
+      f << row[c];
+    }
+    f << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace sp

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sp {
+
+/// Console table printer with aligned columns, used by the benchmark
+/// harnesses to print paper-style tables, plus CSV export for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `prec` digits after the point.
+  static std::string num(double v, int prec = 2);
+
+  /// Renders the table with a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV to `path` (creates parent-less file).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sp

@@ -1,0 +1,109 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sp::data {
+namespace {
+
+/// Smooth prototype: a coarse Gaussian grid bilinearly upsampled to hw.
+std::vector<float> make_prototype(int channels, int hw, sp::Rng& rng) {
+  const int coarse = 4;
+  std::vector<float> grid(static_cast<std::size_t>(channels) * coarse * coarse);
+  for (auto& v : grid) v = static_cast<float>(rng.normal(0.0, 1.0));
+  std::vector<float> out(static_cast<std::size_t>(channels) * hw * hw);
+  for (int c = 0; c < channels; ++c) {
+    for (int y = 0; y < hw; ++y) {
+      const double fy = static_cast<double>(y) / hw * (coarse - 1);
+      const int y0 = static_cast<int>(fy);
+      const int y1 = std::min(y0 + 1, coarse - 1);
+      const double wy = fy - y0;
+      for (int x = 0; x < hw; ++x) {
+        const double fx = static_cast<double>(x) / hw * (coarse - 1);
+        const int x0 = static_cast<int>(fx);
+        const int x1 = std::min(x0 + 1, coarse - 1);
+        const double wx = fx - x0;
+        auto g = [&](int yy, int xx) {
+          return grid[(static_cast<std::size_t>(c) * coarse + yy) * coarse + xx];
+        };
+        const double v = (1 - wy) * ((1 - wx) * g(y0, x0) + wx * g(y0, x1)) +
+                         wy * ((1 - wx) * g(y1, x0) + wx * g(y1, x1));
+        out[(static_cast<std::size_t>(c) * hw + y) * hw + x] = static_cast<float>(v);
+      }
+    }
+  }
+  return out;
+}
+
+void fill_split(nn::Dataset& ds, int count, const SyntheticSpec& spec,
+                const std::vector<std::vector<float>>& protos, sp::Rng& rng) {
+  const int c = spec.channels, hw = spec.image_hw;
+  ds.images = nn::Tensor({count, c, hw, hw});
+  ds.labels.resize(static_cast<std::size_t>(count));
+  ds.num_classes = spec.num_classes;
+  for (int n = 0; n < count; ++n) {
+    const int k = static_cast<int>(rng.randint(0, spec.num_classes - 1));
+    // Confusing partner: a fixed neighbour plus a random alternative.
+    const int partner = static_cast<int>(
+        (k + 1 + rng.randint(0, std::max(1, spec.num_classes / 4))) % spec.num_classes);
+    ds.labels[static_cast<std::size_t>(n)] = k;
+    const int sy = static_cast<int>(rng.randint(-spec.max_shift, spec.max_shift));
+    const int sx = static_cast<int>(rng.randint(-spec.max_shift, spec.max_shift));
+    for (int cc = 0; cc < c; ++cc) {
+      for (int y = 0; y < hw; ++y) {
+        for (int x = 0; x < hw; ++x) {
+          const int yy = ((y + sy) % hw + hw) % hw;
+          const int xx = ((x + sx) % hw + hw) % hw;
+          const std::size_t p = (static_cast<std::size_t>(cc) * hw + yy) * hw + xx;
+          const double v = (1.0 - spec.mix) * protos[static_cast<std::size_t>(k)][p] +
+                           spec.mix * protos[static_cast<std::size_t>(partner)][p] +
+                           spec.noise * rng.normal();
+          ds.images.at(n, cc, y, x) = static_cast<float>(v);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticSpec SyntheticSpec::cifar_like(int hw) {
+  SyntheticSpec s;
+  s.num_classes = 10;
+  s.image_hw = hw;
+  s.train_count = 2000;
+  s.val_count = 500;
+  s.noise = 0.6;
+  s.mix = 0.15;
+  s.seed = 20240501;
+  return s;
+}
+
+SyntheticSpec SyntheticSpec::imagenet_like(int hw) {
+  SyntheticSpec s;
+  s.num_classes = 20;
+  s.image_hw = hw;
+  s.train_count = 3000;
+  s.val_count = 600;
+  s.noise = 1.0;
+  s.mix = 0.3;
+  s.seed = 20240502;
+  return s;
+}
+
+SyntheticData make_synthetic(const SyntheticSpec& spec) {
+  sp::check(spec.num_classes >= 2, "make_synthetic: need at least 2 classes");
+  sp::Rng rng(spec.seed);
+  std::vector<std::vector<float>> protos;
+  protos.reserve(static_cast<std::size_t>(spec.num_classes));
+  for (int k = 0; k < spec.num_classes; ++k)
+    protos.push_back(make_prototype(spec.channels, spec.image_hw, rng));
+
+  SyntheticData out;
+  fill_split(out.train, spec.train_count, spec, protos, rng);
+  fill_split(out.val, spec.val_count, spec, protos, rng);
+  return out;
+}
+
+}  // namespace sp::data

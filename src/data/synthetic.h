@@ -1,0 +1,42 @@
+#pragma once
+
+#include "nn/dataset.h"
+
+namespace sp::data {
+
+/// Specification of a synthetic class-structured image dataset.
+///
+/// Substitution for CiFar-10 / ImageNet-1k (see DESIGN.md): each class has a
+/// smooth random prototype; samples are prototype + inter-class mixing +
+/// pixel noise + random circular shifts. `mix`/`noise` control difficulty,
+/// so the "imagenet-like" spec is measurably harder than the "cifar-like"
+/// one (reproducing the paper's §5.4.4 dataset-complexity effect).
+struct SyntheticSpec {
+  int num_classes = 10;
+  int image_hw = 16;
+  int channels = 3;
+  int train_count = 2000;
+  int val_count = 500;
+  double noise = 0.6;     ///< per-pixel Gaussian noise stddev
+  double mix = 0.15;      ///< weight of a confusing second prototype
+  int max_shift = 2;      ///< random circular shift amplitude
+  std::uint64_t seed = 20240501;
+
+  /// Easier task standing in for CiFar-10 (10 classes).
+  static SyntheticSpec cifar_like(int hw = 16);
+
+  /// Harder task standing in for ImageNet-1k (more classes, more noise,
+  /// heavier mixing).
+  static SyntheticSpec imagenet_like(int hw = 16);
+};
+
+/// Train + validation split drawn from the same generative process.
+struct SyntheticData {
+  nn::Dataset train;
+  nn::Dataset val;
+};
+
+/// Deterministically generates the dataset for a spec.
+SyntheticData make_synthetic(const SyntheticSpec& spec);
+
+}  // namespace sp::data

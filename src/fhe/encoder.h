@@ -1,0 +1,59 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "fhe/rns_poly.h"
+
+namespace sp::fhe {
+
+/// CKKS plaintext: an RNS ring element (kept in NTT form) with its scale.
+struct Plaintext {
+  RnsPoly poly;
+  double scale = 1.0;
+  int q_count() const { return poly.q_count(); }
+};
+
+/// CKKS encoder: canonical-embedding packing of N/2 real slots.
+///
+/// Slot j corresponds to evaluation of the plaintext polynomial at the
+/// primitive 2N-th root zeta^(5^j); with that ordering the Galois
+/// automorphism X -> X^(5^r) cyclically rotates slots by r. Encoding runs
+/// one complex FFT of size 2N; decoding CRT-recomposes the RNS residues with
+/// Garner's algorithm (valid while |coefficient| < 2^62, i.e. rescale down
+/// before decoding very large scales).
+class Encoder {
+ public:
+  explicit Encoder(const CkksContext& ctx);
+
+  std::size_t slot_count() const { return ctx_->slot_count(); }
+
+  /// Packs `values` (size <= slot_count; remaining slots zero) at the given
+  /// scale into a plaintext with `q_count` chain primes.
+  Plaintext encode(const std::vector<double>& values, double scale, int q_count) const;
+
+  /// Broadcast-encodes one scalar into all slots (constant polynomial; much
+  /// cheaper than the FFT path).
+  Plaintext encode_scalar(double value, double scale, int q_count) const;
+
+  /// Inverse of encode() for a decrypted plaintext.
+  std::vector<double> decode(const Plaintext& pt) const;
+
+ private:
+  /// In-place radix-2 complex FFT of size 2N; `invert` flips the kernel sign.
+  void fft(std::vector<std::complex<double>>& a, bool invert) const;
+
+  /// Centered CRT recomposition of one coefficient across `level+1` primes.
+  std::int64_t crt_centered(const std::vector<u64>& residues, int q_count) const;
+
+  const CkksContext* ctx_;
+  std::vector<std::size_t> rot_group_;            // 5^j mod 2N
+  std::vector<std::complex<double>> twiddles_;    // e^(2*pi*i*k/(2N))
+  // Garner precomputation: prod_q_mod_[k][j] = (q_0...q_{k-1}) mod q_j,
+  // prod_q_wrap_[k] = (q_0...q_{k-1}) mod 2^64, prod_q_ld_[k] long double.
+  std::vector<std::vector<u64>> prod_q_mod_;
+  std::vector<u64> prod_q_wrap_;
+  std::vector<long double> prod_q_ld_;
+};
+
+}  // namespace sp::fhe

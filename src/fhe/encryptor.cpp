@@ -1,0 +1,74 @@
+#include "fhe/encryptor.h"
+
+#include "common/check.h"
+
+namespace sp::fhe {
+
+namespace {
+
+/// Restricts an RnsPoly over the full chain to its first `q_count` rows.
+RnsPoly restrict_rows(const RnsPoly& full, int q_count) {
+  sp::check(q_count <= full.q_count(), "restrict_rows: not enough rows");
+  RnsPoly out(full.context(), q_count, /*with_special=*/false, full.is_ntt());
+  for (int i = 0; i < q_count; ++i) {
+    const u64* src = full.row(i);
+    std::copy(src, src + full.n(), out.row(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+Encryptor::Encryptor(const CkksContext& ctx, PublicKey pk, std::uint64_t seed)
+    : ctx_(&ctx), pk_(std::move(pk)), rng_(seed) {}
+
+Ciphertext Encryptor::encrypt(const Plaintext& pt) {
+  const int L = pt.q_count();
+  sp::check(pt.poly.is_ntt(), "Encryptor::encrypt: plaintext must be in NTT form");
+
+  RnsPoly u(ctx_, L, false, false);
+  u.sample_ternary(rng_);
+  u.to_ntt();
+  RnsPoly e0(ctx_, L, false, false), e1(ctx_, L, false, false);
+  e0.sample_gaussian(rng_, ctx_->params().noise_stddev);
+  e1.sample_gaussian(rng_, ctx_->params().noise_stddev);
+  e0.to_ntt();
+  e1.to_ntt();
+
+  RnsPoly c0 = restrict_rows(pk_.p0, L);
+  c0.mul_inplace(u);
+  c0.add_inplace(e0);
+  c0.add_inplace(pt.poly);
+  RnsPoly c1 = restrict_rows(pk_.p1, L);
+  c1.mul_inplace(u);
+  c1.add_inplace(e1);
+
+  Ciphertext ct;
+  ct.parts.push_back(std::move(c0));
+  ct.parts.push_back(std::move(c1));
+  ct.scale = pt.scale;
+  return ct;
+}
+
+Decryptor::Decryptor(const CkksContext& ctx, SecretKey sk)
+    : ctx_(&ctx), sk_(std::move(sk)) {}
+
+Plaintext Decryptor::decrypt(const Ciphertext& ct) {
+  sp::check(ct.size() >= 2 && ct.size() <= 3, "Decryptor: ciphertext size must be 2 or 3");
+  const int L = ct.q_count();
+  RnsPoly s = restrict_rows(sk_.s_ntt, L);
+
+  RnsPoly acc = ct.parts[1];
+  acc.mul_inplace(s);
+  acc.add_inplace(ct.parts[0]);
+  if (ct.size() == 3) {
+    RnsPoly s2 = s;
+    s2.mul_inplace(s);
+    RnsPoly t = ct.parts[2];
+    t.mul_inplace(s2);
+    acc.add_inplace(t);
+  }
+  return Plaintext{std::move(acc), ct.scale};
+}
+
+}  // namespace sp::fhe

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "fhe/keys.h"
+
+namespace sp::fhe {
+
+/// Public-key CKKS encryptor.
+class Encryptor {
+ public:
+  Encryptor(const CkksContext& ctx, PublicKey pk, std::uint64_t seed = 1234);
+
+  /// Encrypts a plaintext at its own level/scale.
+  Ciphertext encrypt(const Plaintext& pt);
+
+ private:
+  const CkksContext* ctx_;
+  PublicKey pk_;
+  sp::Rng rng_;
+};
+
+/// Secret-key decryptor (handles 2- and 3-part ciphertexts).
+class Decryptor {
+ public:
+  Decryptor(const CkksContext& ctx, SecretKey sk);
+
+  /// Decrypts into a plaintext carrying the ciphertext's scale.
+  Plaintext decrypt(const Ciphertext& ct);
+
+ private:
+  const CkksContext* ctx_;
+  SecretKey sk_;
+};
+
+}  // namespace sp::fhe

@@ -1,0 +1,252 @@
+#include "fhe/evaluator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sp::fhe {
+namespace {
+
+void check_scale_close(double a, double b) {
+  sp::check(std::abs(a - b) <= 1e-6 * std::max(a, b),
+            "Evaluator: scale mismatch between operands");
+}
+
+/// Rescale-style exact division step shared by rescale (divisor = chain
+/// prime) and key-switch mod-down (divisor = special prime): given the
+/// divisor's residue row, subtract its centered lift from every remaining
+/// row and multiply by divisor^-1 mod that row's prime.
+void div_exact_rows(RnsPoly& poly, const u64* divisor_row, const Modulus& divisor_mod,
+                    const std::vector<u64>& inv_mod_rows) {
+  const std::size_t n = poly.n();
+  const u64 d = divisor_mod.value();
+  for (int j = 0; j < poly.row_count(); ++j) {
+    const Modulus& m = poly.row_mod(j);
+    const u64 inv = inv_mod_rows[static_cast<std::size_t>(j)];
+    const u64 inv_shoup = shoup_precompute(inv, m.value());
+    u64* r = poly.row(j);
+    for (std::size_t i = 0; i < n; ++i) {
+      const u64 x = divisor_row[i];
+      const std::int64_t centered =
+          x > d / 2 ? static_cast<std::int64_t>(x) - static_cast<std::int64_t>(d)
+                    : static_cast<std::int64_t>(x);
+      const u64 lift = m.from_signed(centered);
+      r[i] = mul_shoup(m.sub(r[i], lift), inv, inv_shoup, m.value());
+    }
+  }
+}
+
+}  // namespace
+
+void Evaluator::drop_to_level(Ciphertext& ct, int level) const {
+  sp::check(level >= 0 && level <= ct.level(), "drop_to_level: bad target level");
+  while (ct.level() > level)
+    for (auto& part : ct.parts) part.drop_last_q();
+}
+
+void Evaluator::match_levels(Ciphertext& a, Ciphertext& b) const {
+  if (a.level() > b.level())
+    drop_to_level(a, b.level());
+  else if (b.level() > a.level())
+    drop_to_level(b, a.level());
+}
+
+Ciphertext Evaluator::add(const Ciphertext& a, const Ciphertext& b) const {
+  sp::check(a.q_count() == b.q_count(), "add: level mismatch");
+  sp::check(a.size() == b.size(), "add: size mismatch");
+  check_scale_close(a.scale, b.scale);
+  Ciphertext out = a;
+  for (int i = 0; i < out.size(); ++i) out.parts[static_cast<std::size_t>(i)].add_inplace(b.parts[static_cast<std::size_t>(i)]);
+  ++counters.adds;
+  return out;
+}
+
+Ciphertext Evaluator::sub(const Ciphertext& a, const Ciphertext& b) const {
+  sp::check(a.q_count() == b.q_count(), "sub: level mismatch");
+  sp::check(a.size() == b.size(), "sub: size mismatch");
+  check_scale_close(a.scale, b.scale);
+  Ciphertext out = a;
+  for (int i = 0; i < out.size(); ++i) out.parts[static_cast<std::size_t>(i)].sub_inplace(b.parts[static_cast<std::size_t>(i)]);
+  ++counters.adds;
+  return out;
+}
+
+void Evaluator::negate_inplace(Ciphertext& ct) const {
+  for (auto& p : ct.parts) p.negate_inplace();
+}
+
+void Evaluator::add_plain_inplace(Ciphertext& ct, const Plaintext& pt) const {
+  sp::check(ct.q_count() == pt.q_count(), "add_plain: level mismatch");
+  check_scale_close(ct.scale, pt.scale);
+  ct.parts[0].add_inplace(pt.poly);
+  ++counters.adds;
+}
+
+void Evaluator::multiply_plain_inplace(Ciphertext& ct, const Plaintext& pt) const {
+  sp::check(ct.q_count() == pt.q_count(), "multiply_plain: level mismatch");
+  for (auto& part : ct.parts) part.mul_inplace(pt.poly);
+  ct.scale *= pt.scale;
+  ++counters.plain_mults;
+}
+
+Ciphertext Evaluator::multiply(const Ciphertext& a, const Ciphertext& b) const {
+  sp::check(a.size() == 2 && b.size() == 2, "multiply: operands must have 2 parts");
+  sp::check(a.q_count() == b.q_count(), "multiply: level mismatch");
+
+  Ciphertext out;
+  out.scale = a.scale * b.scale;
+  RnsPoly p0 = a.parts[0];
+  p0.mul_inplace(b.parts[0]);
+  RnsPoly cross = a.parts[0];
+  cross.mul_inplace(b.parts[1]);
+  RnsPoly cross2 = a.parts[1];
+  cross2.mul_inplace(b.parts[0]);
+  cross.add_inplace(cross2);
+  RnsPoly p2 = a.parts[1];
+  p2.mul_inplace(b.parts[1]);
+  out.parts.push_back(std::move(p0));
+  out.parts.push_back(std::move(cross));
+  out.parts.push_back(std::move(p2));
+  ++counters.ct_mults;
+  return out;
+}
+
+std::pair<RnsPoly, RnsPoly> Evaluator::key_switch(const RnsPoly& d_coeff,
+                                                  const KSwitchKey& key) const {
+  sp::check(!d_coeff.is_ntt() && !d_coeff.has_special(),
+            "key_switch: expects coefficient form over chain rows");
+  const int l = d_coeff.q_count();           // chain rows of the ciphertext
+  const int rows = l + 1;                    // + special
+  const int key_q = ctx_->q_count();         // key basis chain size
+  const std::size_t n = ctx_->n();
+
+  std::vector<std::vector<u128>> acc0(static_cast<std::size_t>(rows), std::vector<u128>(n, 0));
+  std::vector<std::vector<u128>> acc1(static_cast<std::size_t>(rows), std::vector<u128>(n, 0));
+
+  for (int i = 0; i < l; ++i) {
+    // Centered lift of the i-th residue row into the extended basis.
+    const u64 qi = ctx_->q(i).value();
+    RnsPoly digit(ctx_, l, /*with_special=*/true, /*ntt_form=*/false);
+    const u64* src = d_coeff.row(i);
+    for (int t = 0; t < rows; ++t) {
+      const Modulus& m = digit.row_mod(t);
+      u64* dst = digit.row(t);
+      for (std::size_t j = 0; j < n; ++j) {
+        const u64 x = src[j];
+        const std::int64_t centered =
+            x > qi / 2 ? static_cast<std::int64_t>(x) - static_cast<std::int64_t>(qi)
+                       : static_cast<std::int64_t>(x);
+        dst[j] = m.from_signed(centered);
+      }
+    }
+    digit.to_ntt();
+    const auto& kd = key.digits[static_cast<std::size_t>(i)];
+    for (int t = 0; t < rows; ++t) {
+      // Ciphertext chain row t maps to key row t; the special row maps to
+      // the key's special row (index key_q).
+      const int key_row = (t == l) ? key_q : t;
+      const u64* dg = digit.row(t);
+      const u64* k0 = kd[0].row(key_row);
+      const u64* k1 = kd[1].row(key_row);
+      u128* a0 = acc0[static_cast<std::size_t>(t)].data();
+      u128* a1 = acc1[static_cast<std::size_t>(t)].data();
+      for (std::size_t j = 0; j < n; ++j) {
+        a0[j] += static_cast<u128>(dg[j]) * k0[j];
+        a1[j] += static_cast<u128>(dg[j]) * k1[j];
+      }
+    }
+  }
+
+  RnsPoly r0(ctx_, l, true, true), r1(ctx_, l, true, true);
+  for (int t = 0; t < rows; ++t) {
+    const Modulus& m = r0.row_mod(t);
+    u64* d0 = r0.row(t);
+    u64* d1 = r1.row(t);
+    const u128* a0 = acc0[static_cast<std::size_t>(t)].data();
+    const u128* a1 = acc1[static_cast<std::size_t>(t)].data();
+    for (std::size_t j = 0; j < n; ++j) {
+      d0[j] = m.reduce128(a0[j]);
+      d1[j] = m.reduce128(a1[j]);
+    }
+  }
+
+  // Mod-down: divide by the special prime P with centered rounding.
+  r0.from_ntt();
+  r1.from_ntt();
+  std::vector<u64> p_inv(static_cast<std::size_t>(l));
+  for (int j = 0; j < l; ++j) p_inv[static_cast<std::size_t>(j)] = ctx_->p_inv_mod(j);
+  for (RnsPoly* r : {&r0, &r1}) {
+    // Copy the special row, drop it, then apply the exact-division step.
+    std::vector<u64> special_row(r->row(l), r->row(l) + n);
+    r->drop_special();
+    div_exact_rows(*r, special_row.data(), ctx_->special(), p_inv);
+    r->to_ntt();
+  }
+  return {std::move(r0), std::move(r1)};
+}
+
+void Evaluator::relinearize_inplace(Ciphertext& ct, const KSwitchKey& rk) const {
+  sp::check(ct.size() == 3, "relinearize: ciphertext must have 3 parts");
+  RnsPoly d = ct.parts[2];
+  d.from_ntt();
+  auto [r0, r1] = key_switch(d, rk);
+  ct.parts.pop_back();
+  ct.parts[0].add_inplace(r0);
+  ct.parts[1].add_inplace(r1);
+  ++counters.relins;
+}
+
+void Evaluator::rescale_inplace(Ciphertext& ct) const {
+  sp::check(ct.level() >= 1, "rescale: no levels remaining");
+  const int last = ct.q_count() - 1;
+  const Modulus& q_last = ctx_->q(last);
+  std::vector<u64> inv(static_cast<std::size_t>(last));
+  for (int j = 0; j < last; ++j) inv[static_cast<std::size_t>(j)] = ctx_->q_inv_mod(last, j);
+  for (auto& part : ct.parts) {
+    part.from_ntt();
+    std::vector<u64> last_row(part.row(last), part.row(last) + part.n());
+    part.drop_last_q();
+    div_exact_rows(part, last_row.data(), q_last, inv);
+    part.to_ntt();
+  }
+  ct.scale /= static_cast<double>(q_last.value());
+  ++counters.rescales;
+}
+
+u64 Evaluator::galois_element(int steps) const {
+  const std::size_t two_n = 2 * ctx_->n();
+  const std::size_t half = ctx_->n() / 2;
+  const std::size_t r =
+      ((static_cast<std::size_t>(steps % static_cast<int>(half)) + half) % half);
+  u64 g = 1;
+  for (std::size_t k = 0; k < r; ++k) g = (g * 5) % two_n;
+  return g;
+}
+
+Ciphertext Evaluator::rotate(const Ciphertext& ct, int steps, const GaloisKeys& gk) const {
+  sp::check(ct.size() == 2, "rotate: relinearize first");
+  const u64 g = galois_element(steps);
+  if (g == 1) return ct;
+  const auto it = gk.keys.find(g);
+  sp::check(it != gk.keys.end(), "rotate: missing Galois key for requested step");
+
+  RnsPoly c0 = ct.parts[0];
+  RnsPoly c1 = ct.parts[1];
+  c0.from_ntt();
+  c1.from_ntt();
+  RnsPoly c0g = apply_galois(c0, g);
+  RnsPoly c1g = apply_galois(c1, g);
+
+  auto [r0, r1] = key_switch(c1g, it->second);
+  c0g.to_ntt();
+  r0.add_inplace(c0g);
+
+  Ciphertext out;
+  out.parts.push_back(std::move(r0));
+  out.parts.push_back(std::move(r1));
+  out.scale = ct.scale;
+  ++counters.rotations;
+  return out;
+}
+
+}  // namespace sp::fhe

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <utility>
+
+#include "fhe/encryptor.h"
+#include "fhe/keys.h"
+
+namespace sp::fhe {
+
+/// Running tally of homomorphic operations (latency accounting for the
+/// paper's cost model: ct-ct multiplications + relinearizations dominate).
+struct OpCounters {
+  std::size_t adds = 0;
+  std::size_t plain_mults = 0;
+  std::size_t ct_mults = 0;
+  std::size_t relins = 0;
+  std::size_t rescales = 0;
+  std::size_t rotations = 0;
+};
+
+/// Leveled CKKS evaluator: arithmetic, rescaling, relinearization via hybrid
+/// key-switching with one special prime, and slot rotations.
+///
+/// Conventions: ciphertext parts are kept in NTT form; `level` = q_count-1
+/// counts remaining rescales; scales are tracked as exact doubles and
+/// addition requires operands within 1e-6 relative scale mismatch.
+class Evaluator {
+ public:
+  explicit Evaluator(const CkksContext& ctx) : ctx_(&ctx) {}
+
+  const CkksContext& context() const { return *ctx_; }
+
+  /// Drops chain primes (without scaling) until the ciphertext sits at
+  /// `level`; no-op if already there. Used to align operands.
+  void drop_to_level(Ciphertext& ct, int level) const;
+
+  /// Drops the higher-level operand so both match.
+  void match_levels(Ciphertext& a, Ciphertext& b) const;
+
+  Ciphertext add(const Ciphertext& a, const Ciphertext& b) const;
+  Ciphertext sub(const Ciphertext& a, const Ciphertext& b) const;
+  void negate_inplace(Ciphertext& ct) const;
+
+  void add_plain_inplace(Ciphertext& ct, const Plaintext& pt) const;
+  void multiply_plain_inplace(Ciphertext& ct, const Plaintext& pt) const;
+
+  /// Tensor product; result has 3 parts and scale = sa * sb. Operands must
+  /// be at the same level (use match_levels).
+  Ciphertext multiply(const Ciphertext& a, const Ciphertext& b) const;
+
+  /// Switches the quadratic part back to the canonical basis (size 3 -> 2).
+  void relinearize_inplace(Ciphertext& ct, const KSwitchKey& rk) const;
+
+  /// Divides by the last chain prime: level-1, scale /= q_last.
+  void rescale_inplace(Ciphertext& ct) const;
+
+  /// Rotates slots left by `steps` (Galois automorphism + key switch).
+  Ciphertext rotate(const Ciphertext& ct, int steps, const GaloisKeys& gk) const;
+
+  /// Galois element for a left rotation by `steps` slots.
+  u64 galois_element(int steps) const;
+
+  mutable OpCounters counters;
+
+ private:
+  /// Key-switches `d` (coefficient form, q_count chain rows) and returns the
+  /// two NTT-form correction polynomials over the same q_count rows.
+  std::pair<RnsPoly, RnsPoly> key_switch(const RnsPoly& d_coeff,
+                                         const KSwitchKey& key) const;
+
+  const CkksContext* ctx_;
+};
+
+}  // namespace sp::fhe

@@ -1,0 +1,115 @@
+#include "fhe/keys.h"
+
+#include "common/check.h"
+
+namespace sp::fhe {
+
+KeyGenerator::KeyGenerator(const CkksContext& ctx, std::uint64_t seed)
+    : ctx_(&ctx), rng_(seed) {
+  const int L = ctx_->q_count();
+  sk_.s_coeff = RnsPoly(ctx_, L, /*with_special=*/true, /*ntt_form=*/false);
+  sk_.s_coeff.sample_ternary(rng_);
+  sk_.s_ntt = sk_.s_coeff;
+  sk_.s_ntt.to_ntt();
+}
+
+PublicKey KeyGenerator::public_key() {
+  const int L = ctx_->q_count();
+  RnsPoly a(ctx_, L, false, true);
+  a.sample_uniform(rng_);
+  RnsPoly e(ctx_, L, false, false);
+  e.sample_gaussian(rng_, ctx_->params().noise_stddev);
+  e.to_ntt();
+
+  // p0 = -a*s + e (restrict s to the Q basis rows).
+  RnsPoly p0 = a;
+  for (int i = 0; i < L; ++i) {
+    const Modulus& m = p0.row_mod(i);
+    u64* r = p0.row(i);
+    const u64* s = sk_.s_ntt.row(i);
+    for (std::size_t j = 0; j < p0.n(); ++j) r[j] = m.mul(r[j], s[j]);
+  }
+  p0.negate_inplace();
+  p0.add_inplace(e);
+  return PublicKey{std::move(p0), std::move(a)};
+}
+
+KSwitchKey KeyGenerator::make_kswitch_key(const RnsPoly& w_ntt) {
+  const int L = ctx_->q_count();
+  sp::check(w_ntt.q_count() == L && w_ntt.has_special() && w_ntt.is_ntt(),
+            "make_kswitch_key: w must be NTT over the full basis");
+  KSwitchKey key;
+  key.digits.resize(static_cast<std::size_t>(L));
+  for (int i = 0; i < L; ++i) {
+    RnsPoly a(ctx_, L, true, true);
+    a.sample_uniform(rng_);
+    RnsPoly e(ctx_, L, true, false);
+    e.sample_gaussian(rng_, ctx_->params().noise_stddev);
+    e.to_ntt();
+
+    RnsPoly k0 = a;
+    k0.mul_inplace(sk_.s_ntt);
+    k0.negate_inplace();
+    k0.add_inplace(e);
+    // Add P * w on the i-th prime row only (CRT indicator of q_i).
+    const Modulus& m = ctx_->q(i);
+    const u64 p_mod_qi = ctx_->p_mod(i);
+    u64* r = k0.row(i);
+    const u64* w = w_ntt.row(i);
+    for (std::size_t j = 0; j < k0.n(); ++j)
+      r[j] = m.add(r[j], m.mul(p_mod_qi, w[j]));
+    key.digits[static_cast<std::size_t>(i)] = {std::move(k0), std::move(a)};
+  }
+  return key;
+}
+
+KSwitchKey KeyGenerator::relin_key() {
+  RnsPoly s2 = sk_.s_ntt;
+  s2.mul_inplace(sk_.s_ntt);
+  return make_kswitch_key(s2);
+}
+
+u64 KeyGenerator::galois_element(int steps) const {
+  const std::size_t n = ctx_->n();
+  const std::size_t two_n = 2 * n;
+  const std::size_t half = n / 2;  // slot count; ord(5) mod 2N
+  std::size_t r = ((static_cast<std::size_t>(steps % static_cast<int>(half)) + half) % half);
+  u64 g = 1;
+  for (std::size_t k = 0; k < r; ++k) g = (g * 5) % two_n;
+  return g;
+}
+
+GaloisKeys KeyGenerator::galois_keys(const std::vector<int>& steps) {
+  GaloisKeys out;
+  for (int s : steps) {
+    const u64 g = galois_element(s);
+    if (out.keys.count(g)) continue;
+    RnsPoly sg = apply_galois(sk_.s_coeff, g);
+    sg.to_ntt();
+    out.keys.emplace(g, make_kswitch_key(sg));
+  }
+  return out;
+}
+
+RnsPoly apply_galois(const RnsPoly& coeff_poly, u64 galois_elt) {
+  sp::check(!coeff_poly.is_ntt(), "apply_galois: expects coefficient form");
+  const std::size_t n = coeff_poly.n();
+  const std::size_t two_n = 2 * n;
+  RnsPoly out(coeff_poly.context(), coeff_poly.q_count(), coeff_poly.has_special(),
+              /*ntt_form=*/false);
+  for (int r = 0; r < coeff_poly.row_count(); ++r) {
+    const Modulus& m = coeff_poly.row_mod(r);
+    const u64* src = coeff_poly.row(r);
+    u64* dst = out.row(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = (i * galois_elt) % two_n;
+      if (idx < n)
+        dst[idx] = src[i];
+      else
+        dst[idx - n] = m.neg(src[i]);  // X^n = -1
+    }
+  }
+  return out;
+}
+
+}  // namespace sp::fhe

@@ -1,0 +1,102 @@
+#include "fhe/ntt.h"
+
+#include "common/check.h"
+#include "fhe/primes.h"
+
+namespace sp::fhe {
+namespace {
+
+std::size_t bit_reverse(std::size_t v, int bits) {
+  std::size_t r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | (v & 1);
+    v >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+NttTables::NttTables(std::size_t n, Modulus mod) : n_(n), mod_(mod) {
+  sp::check(n >= 4 && (n & (n - 1)) == 0, "NttTables: n must be a power of two");
+  log_n_ = 0;
+  while ((1ULL << log_n_) < n) ++log_n_;
+
+  const u64 q = mod_.value();
+  const u64 psi = find_primitive_root(q, 2 * n);
+  const u64 psi_inv = mod_.inv(psi);
+
+  roots_.resize(n);
+  roots_shoup_.resize(n);
+  inv_roots_.resize(n);
+  inv_roots_shoup_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 e = static_cast<u64>(bit_reverse(i, log_n_));
+    roots_[i] = mod_.pow(psi, e);
+    roots_shoup_[i] = shoup_precompute(roots_[i], q);
+    inv_roots_[i] = mod_.pow(psi_inv, e);
+    inv_roots_shoup_[i] = shoup_precompute(inv_roots_[i], q);
+  }
+  n_inv_ = mod_.inv(static_cast<u64>(n % q));
+  n_inv_shoup_ = shoup_precompute(n_inv_, q);
+}
+
+void NttTables::forward(u64* a) const {
+  const u64 q = mod_.value();
+  const u64 two_q = 2 * q;
+  std::size_t t = n_;
+  for (std::size_t m = 1; m < n_; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t j1 = 2 * i * t;
+      const u64 w = roots_[m + i];
+      const u64 ws = roots_shoup_[m + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        // Harvey butterfly: values stay < 4q.
+        u64 x = a[j];
+        if (x >= two_q) x -= two_q;
+        const u64 v = mul_shoup_lazy(a[j + t], w, ws, q);  // < 2q
+        a[j] = x + v;
+        a[j + t] = x + two_q - v;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    u64 x = a[i];
+    if (x >= two_q) x -= two_q;
+    if (x >= q) x -= q;
+    a[i] = x;
+  }
+}
+
+void NttTables::inverse(u64* a) const {
+  const u64 q = mod_.value();
+  const u64 two_q = 2 * q;
+  std::size_t t = 1;
+  for (std::size_t m = n_; m > 1; m >>= 1) {
+    const std::size_t h = m >> 1;
+    std::size_t j1 = 0;
+    for (std::size_t i = 0; i < h; ++i) {
+      const u64 w = inv_roots_[h + i];
+      const u64 ws = inv_roots_shoup_[h + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        // Gentleman-Sande butterfly with values < 2q.
+        const u64 x = a[j];
+        const u64 y = a[j + t];
+        u64 u = x + y;
+        if (u >= two_q) u -= two_q;
+        a[j] = u;
+        a[j + t] = mul_shoup_lazy(x + two_q - y, w, ws, q);  // < 2q
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    u64 x = mul_shoup_lazy(a[i], n_inv_, n_inv_shoup_, q);
+    if (x >= q) x -= q;
+    a[i] = x;
+  }
+}
+
+}  // namespace sp::fhe

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fhe/modarith.h"
+
+namespace sp::fhe {
+
+/// Negacyclic number-theoretic transform over Z_q[X]/(X^n + 1).
+///
+/// Implements the Longa-Naehrig/Harvey formulation: Cooley-Tukey butterflies
+/// for the forward transform and Gentleman-Sande for the inverse, with root
+/// powers stored in bit-reversed order and Shoup-precomputed companions for
+/// lazy (< 4q) butterfly arithmetic. Multiplication of ring elements becomes
+/// pointwise multiplication between forward transforms.
+class NttTables {
+ public:
+  NttTables(std::size_t n, Modulus mod);
+
+  std::size_t n() const { return n_; }
+  const Modulus& modulus() const { return mod_; }
+
+  /// In-place forward NTT; input/output fully reduced (< q).
+  void forward(u64* a) const;
+
+  /// In-place inverse NTT (includes the 1/n scaling); output < q.
+  void inverse(u64* a) const;
+
+ private:
+  std::size_t n_;
+  int log_n_;
+  Modulus mod_;
+  std::vector<u64> roots_, roots_shoup_;          // psi^brev(i)
+  std::vector<u64> inv_roots_, inv_roots_shoup_;  // psi^-brev(i)
+  u64 n_inv_ = 0, n_inv_shoup_ = 0;
+};
+
+}  // namespace sp::fhe

@@ -1,0 +1,239 @@
+#include "fhe/poly_eval.h"
+
+#include <cmath>
+#include <map>
+#include <optional>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace sp::fhe {
+namespace {
+
+/// Shared state of one eval_poly call: memoized power-of-two chain + stats.
+struct EvalCtx {
+  Evaluator* ev;
+  const Encoder* encoder;
+  const KSwitchKey* relin;
+  const CkksContext* ctx;
+  EvalStats* stats;
+  std::map<int, Ciphertext> pow2;  // x^(2^k), keyed by exponent
+};
+
+void count_mult(EvalCtx& ec) {
+  if (ec.stats) {
+    ++ec.stats->ct_mults;
+    ++ec.stats->relins;
+    ++ec.stats->rescales;
+  }
+}
+
+/// x^e for e a power of two, via the squaring chain.
+const Ciphertext& power_of_two(EvalCtx& ec, int e) {
+  auto it = ec.pow2.find(e);
+  if (it != ec.pow2.end()) return it->second;
+  const Ciphertext& half = power_of_two(ec, e / 2);
+  Ciphertext sq = ec.ev->multiply(half, half);
+  ec.ev->relinearize_inplace(sq, *ec.relin);
+  ec.ev->rescale_inplace(sq);
+  count_mult(ec);
+  return ec.pow2.emplace(e, std::move(sq)).first->second;
+}
+
+/// (factor * ct) at (target_level, target_scale): one plain mult + rescale.
+Ciphertext rescale_onto(EvalCtx& ec, const Ciphertext& ct, double factor,
+                        int target_level, double target_scale) {
+  sp::check(ct.level() >= target_level + 1, "eval_poly: out of levels");
+  Ciphertext out = ct;
+  ec.ev->drop_to_level(out, target_level + 1);
+  const u64 q = ec.ctx->q(target_level + 1).value();
+  const double cs = target_scale * static_cast<double>(q) / out.scale;
+  ec.ev->multiply_plain_inplace(out, ec.encoder->encode_scalar(factor, cs, out.q_count()));
+  ec.ev->rescale_inplace(out);
+  out.scale = target_scale;
+  if (ec.stats) ++ec.stats->plain_mults;
+  return out;
+}
+
+/// Effective degree of sum_{k in (lo..hi]} c_k x^(k-lo): index distance to
+/// the highest nonzero coefficient (0 when the block is constant).
+int effective_degree(const approx::Polynomial& p, int lo, int hi) {
+  int degree = 0;
+  for (int k = lo + 1; k <= hi; ++k)
+    if (p.coeff(k) != 0.0) degree = k - lo;
+  return degree;
+}
+
+/// Multiplication depth the block will consume: ceil(log2(degree+1)).
+int block_depth(const approx::Polynomial& p, int lo, int hi) {
+  const int d = effective_degree(p, lo, hi);
+  if (d == 0) return 0;
+  return static_cast<int>(std::ceil(std::log2(static_cast<double>(d) + 1.0)));
+}
+
+/// Recursive depth-optimal evaluation of the block sum_{k=lo..hi} c_k
+/// x^(k-lo), returning a ciphertext at exactly `target_scale` (nullopt when
+/// the block is the constant *constant_out, which the caller folds in).
+///
+/// Split rule: p = A + x^h * B, h = 2^floor(log2(degree)). Coefficient
+/// multiplications are fused into the base cases, so a degree-n block
+/// consumes exactly ceil(log2(n+1)) levels — the Appendix-C schedule.
+std::optional<Ciphertext> eval_range(EvalCtx& ec, const approx::Polynomial& p, int lo,
+                                     int hi, double target_scale, double* constant_out) {
+  *constant_out = p.coeff(lo);
+  const int d = effective_degree(p, lo, hi);
+  if (d == 0) return std::nullopt;
+
+  const Ciphertext& x = ec.pow2.at(1);
+  if (d == 1)
+    return rescale_onto(ec, x, p.coeff(lo + 1), x.level() - 1, target_scale);
+
+  int h = 1;
+  while (h * 2 <= d) h *= 2;
+  const Ciphertext& xh = power_of_two(ec, h);
+
+  // --- term = x^h * B, landing at target_scale -----------------------------
+  Ciphertext term;
+  const int b_lo = lo + h, b_hi = lo + d;
+  const int depth_b = block_depth(p, b_lo, b_hi);
+  if (depth_b == 0) {
+    // B is the single constant coefficient c_{lo+d} (nonzero by choice of d).
+    term = rescale_onto(ec, xh, p.coeff(b_lo), xh.level() - 1, target_scale);
+  } else {
+    const int level_b = x.level() - depth_b;
+    const int prod_level = std::min(xh.level(), level_b);
+    const u64 q = ec.ctx->q(prod_level).value();
+    const double b_scale = target_scale * static_cast<double>(q) / xh.scale;
+    double b_const = 0.0;
+    std::optional<Ciphertext> b = eval_range(ec, p, b_lo, b_hi, b_scale, &b_const);
+    sp::check(b.has_value(), "eval_poly: non-constant block produced no ciphertext");
+    sp::check(b->level() == level_b, "eval_poly: B level mismatch");
+    if (b_const != 0.0)
+      ec.ev->add_plain_inplace(*b, ec.encoder->encode_scalar(b_const, b->scale, b->q_count()));
+    Ciphertext xa = xh;
+    ec.ev->match_levels(xa, *b);
+    term = ec.ev->multiply(xa, *b);
+    ec.ev->relinearize_inplace(term, *ec.relin);
+    ec.ev->rescale_inplace(term);
+    term.scale = target_scale;  // = s_xh * b_scale / q by construction
+    count_mult(ec);
+  }
+
+  // --- low block A at the same scale ---------------------------------------
+  double a_const = 0.0;
+  std::optional<Ciphertext> a = eval_range(ec, p, lo, lo + h - 1, target_scale, &a_const);
+  if (a.has_value()) {
+    sp::check(a->level() >= term.level(), "eval_poly: A deeper than the product");
+    ec.ev->drop_to_level(*a, term.level());
+    term = ec.ev->add(term, *a);
+  }
+  if (a_const != 0.0)
+    ec.ev->add_plain_inplace(term,
+                             ec.encoder->encode_scalar(a_const, term.scale, term.q_count()));
+  *constant_out = 0.0;
+  return term;
+}
+
+}  // namespace
+
+Ciphertext PafEvaluator::scaled_to(Evaluator& ev, const Ciphertext& ct, double factor,
+                                   int target_level, double target_scale) const {
+  sp::check(ct.level() >= target_level + 1,
+            "scaled_to: ciphertext too low to reach target level");
+  Ciphertext out = ct;
+  ev.drop_to_level(out, target_level + 1);
+  const u64 q = ctx_->q(target_level + 1).value();
+  const double coeff_scale = target_scale * static_cast<double>(q) / out.scale;
+  const Plaintext pt = encoder_->encode_scalar(factor, coeff_scale, out.q_count());
+  ev.multiply_plain_inplace(out, pt);
+  ev.rescale_inplace(out);
+  out.scale = target_scale;  // exact by construction, up to fp rounding
+  return out;
+}
+
+Ciphertext PafEvaluator::eval_poly(Evaluator& ev, const Ciphertext& x,
+                                   const approx::Polynomial& p, EvalStats* stats) const {
+  const int deg = p.degree();
+  sp::check(deg >= 1, "eval_poly: degree >= 1 required");
+  sp::check(x.level() >= static_cast<int>(std::ceil(std::log2(deg + 1.0))),
+            "eval_poly: not enough levels for this degree");
+
+  EvalCtx ec{&ev, encoder_, relin_, ctx_, stats, {}};
+  ec.pow2.emplace(1, x);
+
+  double constant = 0.0;
+  std::optional<Ciphertext> out = eval_range(ec, p, 0, deg, ctx_->scale(), &constant);
+  sp::check(out.has_value(), "eval_poly: polynomial reduced to a constant");
+  if (constant != 0.0)
+    ev.add_plain_inplace(*out, encoder_->encode_scalar(constant, out->scale, out->q_count()));
+  return std::move(*out);
+}
+
+Ciphertext PafEvaluator::eval_composite(Evaluator& ev, const Ciphertext& x,
+                                        const approx::CompositePaf& paf,
+                                        EvalStats* stats) const {
+  Ciphertext v = x;
+  for (const auto& stage : paf.stages()) v = eval_poly(ev, v, stage, stats);
+  return v;
+}
+
+Ciphertext PafEvaluator::relu(Evaluator& ev, const Ciphertext& x,
+                              const approx::CompositePaf& paf, double input_scale,
+                              EvalStats* stats) const {
+  sp::check(input_scale > 0, "relu: input_scale must be positive");
+  sp::Timer timer;
+
+  // t = x / input_scale at scale Delta.
+  Ciphertext t = scaled_to(ev, x, 1.0 / input_scale, x.level() - 1, ctx_->scale());
+  if (stats) ++stats->plain_mults;
+
+  Ciphertext p = eval_composite(ev, t, paf, stats);
+
+  // y = (0.5 x) * (1 + p): one extra ct-ct multiplication.
+  Ciphertext xh = scaled_to(ev, x, 0.5, p.level(), p.scale);
+  if (stats) ++stats->plain_mults;
+  const Plaintext one = encoder_->encode_scalar(1.0, p.scale, p.q_count());
+  ev.add_plain_inplace(p, one);
+  Ciphertext y = ev.multiply(xh, p);
+  ev.relinearize_inplace(y, *relin_);
+  ev.rescale_inplace(y);
+  if (stats) {
+    ++stats->ct_mults;
+    ++stats->relins;
+    ++stats->rescales;
+    stats->levels_consumed = x.level() - y.level();
+    stats->wall_ms += timer.ms();
+  }
+  return y;
+}
+
+Ciphertext PafEvaluator::max(Evaluator& ev, const Ciphertext& a, const Ciphertext& b,
+                             const approx::CompositePaf& paf, double input_scale,
+                             EvalStats* stats) const {
+  sp::Timer timer;
+  Ciphertext a2 = a, b2 = b;
+  ev.match_levels(a2, b2);
+  Ciphertext d = ev.sub(a2, b2);
+  Ciphertext s = ev.add(a2, b2);
+
+  Ciphertext t = scaled_to(ev, d, 1.0 / input_scale, d.level() - 1, ctx_->scale());
+  Ciphertext p = eval_composite(ev, t, paf, stats);
+
+  Ciphertext dh = scaled_to(ev, d, 0.5, p.level(), p.scale);
+  Ciphertext dp = ev.multiply(dh, p);
+  ev.relinearize_inplace(dp, *relin_);
+  ev.rescale_inplace(dp);
+
+  Ciphertext sh = scaled_to(ev, s, 0.5, dp.level(), dp.scale);
+  Ciphertext y = ev.add(dp, sh);
+  if (stats) {
+    ++stats->ct_mults;
+    ++stats->relins;
+    ++stats->rescales;
+    stats->plain_mults += 3;
+    stats->wall_ms += timer.ms();
+  }
+  return y;
+}
+
+}  // namespace sp::fhe

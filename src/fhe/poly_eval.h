@@ -1,0 +1,61 @@
+#pragma once
+
+#include "approx/composite.h"
+#include "fhe/evaluator.h"
+
+namespace sp::fhe {
+
+/// Per-evaluation statistics: the paper's latency model is
+/// "ct-ct multiplications (with relinearization + rescale) dominate", so the
+/// counters here drive both wall-clock measurement and depth verification.
+struct EvalStats {
+  int ct_mults = 0;
+  int relins = 0;
+  int rescales = 0;
+  int plain_mults = 0;
+  int levels_consumed = 0;
+  double wall_ms = 0.0;
+};
+
+/// Evaluates polynomials / composite PAFs on ciphertexts.
+///
+/// Powers are produced with a balanced double-and-add ladder so a degree-n
+/// stage consumes exactly ceil(log2(n+1)) levels (Appendix C of the paper);
+/// term combination encodes each coefficient at the scale that lands every
+/// term on one common (level, scale) pair, so additions are exact.
+class PafEvaluator {
+ public:
+  PafEvaluator(const CkksContext& ctx, const Encoder& encoder, const KSwitchKey& relin_key)
+      : ctx_(&ctx), encoder_(&encoder), relin_(&relin_key) {}
+
+  /// p(x) for a general dense polynomial (degree >= 1).
+  Ciphertext eval_poly(Evaluator& ev, const Ciphertext& x, const approx::Polynomial& p,
+                       EvalStats* stats = nullptr) const;
+
+  /// Composite PAF evaluation, stage by stage.
+  Ciphertext eval_composite(Evaluator& ev, const Ciphertext& x,
+                            const approx::CompositePaf& paf,
+                            EvalStats* stats = nullptr) const;
+
+  /// relu(x) ≈ 0.5 x (1 + paf(x / input_scale)) — the Static-Scaling
+  /// deployment form (paper §4.5): `input_scale` is the frozen running max.
+  Ciphertext relu(Evaluator& ev, const Ciphertext& x, const approx::CompositePaf& paf,
+                  double input_scale, EvalStats* stats = nullptr) const;
+
+  /// max(a,b) ≈ 0.5 (a + b) + 0.5 (a-b) paf((a-b)/input_scale).
+  Ciphertext max(Evaluator& ev, const Ciphertext& a, const Ciphertext& b,
+                 const approx::CompositePaf& paf, double input_scale,
+                 EvalStats* stats = nullptr) const;
+
+ private:
+  /// (factor * ct) moved to `target_level` with scale exactly `target_scale`
+  /// (one plaintext multiplication + rescale).
+  Ciphertext scaled_to(Evaluator& ev, const Ciphertext& ct, double factor,
+                       int target_level, double target_scale) const;
+
+  const CkksContext* ctx_;
+  const Encoder* encoder_;
+  const KSwitchKey* relin_;
+};
+
+}  // namespace sp::fhe

@@ -1,0 +1,86 @@
+#include "fhe/primes.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sp::fhe {
+namespace {
+
+u64 mulmod(u64 a, u64 b, u64 m) { return static_cast<u64>(static_cast<u128>(a) * b % m); }
+
+u64 powmod(u64 a, u64 e, u64 m) {
+  u64 r = 1;
+  a %= m;
+  while (e) {
+    if (e & 1) r = mulmod(r, a, m);
+    a = mulmod(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+bool is_prime(u64 n) {
+  if (n < 2) return false;
+  for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  u64 d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  // This witness set is deterministic for n < 2^64 (Sorenson & Webster).
+  for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    u64 x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int r = 1; r < s; ++r) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::vector<u64> generate_ntt_primes(int bits, int count, std::size_t n,
+                                     const std::vector<u64>& exclude) {
+  sp::check(bits >= 20 && bits <= 61, "generate_ntt_primes: bits in [20,61]");
+  const u64 two_n = static_cast<u64>(2 * n);
+  std::vector<u64> primes;
+  // Largest candidate of the form k*2n + 1 below 2^bits.
+  u64 candidate = ((((1ULL << bits) - 1) / two_n) * two_n) + 1;
+  while (static_cast<int>(primes.size()) < count && candidate > (1ULL << (bits - 1))) {
+    if (is_prime(candidate) &&
+        std::find(exclude.begin(), exclude.end(), candidate) == exclude.end()) {
+      primes.push_back(candidate);
+    }
+    candidate -= two_n;
+  }
+  sp::check(static_cast<int>(primes.size()) == count,
+            "generate_ntt_primes: not enough primes of requested size");
+  return primes;
+}
+
+u64 find_primitive_root(u64 q, std::size_t two_n) {
+  sp::check((q - 1) % two_n == 0, "find_primitive_root: q != 1 mod 2n");
+  const u64 group_order = q - 1;
+  const u64 quotient = group_order / two_n;
+  const Modulus mod(q);
+  // Try small bases; g = a^quotient has order dividing 2n; accept when the
+  // order is exactly 2n, i.e. g^n == -1.
+  for (u64 a = 2; a < 2000; ++a) {
+    const u64 g = mod.pow(a, quotient);
+    if (mod.pow(g, static_cast<u64>(two_n / 2)) == q - 1) return g;
+  }
+  throw sp::Error("find_primitive_root: no generator found");
+}
+
+}  // namespace sp::fhe

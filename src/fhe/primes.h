@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fhe/modarith.h"
+
+namespace sp::fhe {
+
+/// Deterministic Miller-Rabin primality test, exact for all 64-bit inputs
+/// (fixed witness set).
+bool is_prime(u64 n);
+
+/// Generates `count` distinct NTT-friendly primes of the given bit size:
+/// q ≡ 1 (mod 2n) so that a primitive 2n-th root of unity exists (required
+/// for the negacyclic NTT over Z_q[X]/(X^n + 1)). Searches downward from
+/// 2^bits, skipping any prime in `exclude`.
+std::vector<u64> generate_ntt_primes(int bits, int count, std::size_t n,
+                                     const std::vector<u64>& exclude = {});
+
+/// Finds a primitive 2n-th root of unity mod q (q ≡ 1 mod 2n).
+u64 find_primitive_root(u64 q, std::size_t two_n);
+
+}  // namespace sp::fhe

@@ -1,0 +1,140 @@
+#include "fhe/rns_poly.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sp::fhe {
+
+RnsPoly::RnsPoly(const CkksContext* ctx, int q_count, bool with_special, bool ntt_form)
+    : ctx_(ctx), q_count_(q_count), with_special_(with_special), ntt_(ntt_form) {
+  sp::check(ctx != nullptr, "RnsPoly: null context");
+  sp::check(q_count >= 1 && q_count <= ctx->q_count(), "RnsPoly: bad q_count");
+  rows_.assign(static_cast<std::size_t>(row_count()), std::vector<u64>(ctx->n(), 0));
+}
+
+const Modulus& RnsPoly::row_mod(int i) const {
+  if (with_special_ && i == q_count_) return ctx_->special();
+  return ctx_->q(i);
+}
+
+const NttTables& RnsPoly::row_ntt(int i) const {
+  if (with_special_ && i == q_count_) return ctx_->special_ntt();
+  return ctx_->ntt(i);
+}
+
+void RnsPoly::to_ntt() {
+  sp::check(!ntt_, "RnsPoly::to_ntt: already in NTT form");
+  for (int i = 0; i < row_count(); ++i) row_ntt(i).forward(row(i));
+  ntt_ = true;
+}
+
+void RnsPoly::from_ntt() {
+  sp::check(ntt_, "RnsPoly::from_ntt: not in NTT form");
+  for (int i = 0; i < row_count(); ++i) row_ntt(i).inverse(row(i));
+  ntt_ = false;
+}
+
+namespace {
+void check_compatible(const RnsPoly& a, const RnsPoly& b) {
+  sp::check(a.context() == b.context() && a.q_count() == b.q_count() &&
+                a.has_special() == b.has_special() && a.is_ntt() == b.is_ntt(),
+            "RnsPoly: incompatible operands");
+}
+}  // namespace
+
+void RnsPoly::add_inplace(const RnsPoly& o) {
+  check_compatible(*this, o);
+  for (int i = 0; i < row_count(); ++i) {
+    const Modulus& m = row_mod(i);
+    u64* a = row(i);
+    const u64* b = o.row(i);
+    for (std::size_t j = 0; j < n(); ++j) a[j] = m.add(a[j], b[j]);
+  }
+}
+
+void RnsPoly::sub_inplace(const RnsPoly& o) {
+  check_compatible(*this, o);
+  for (int i = 0; i < row_count(); ++i) {
+    const Modulus& m = row_mod(i);
+    u64* a = row(i);
+    const u64* b = o.row(i);
+    for (std::size_t j = 0; j < n(); ++j) a[j] = m.sub(a[j], b[j]);
+  }
+}
+
+void RnsPoly::negate_inplace() {
+  for (int i = 0; i < row_count(); ++i) {
+    const Modulus& m = row_mod(i);
+    u64* a = row(i);
+    for (std::size_t j = 0; j < n(); ++j) a[j] = m.neg(a[j]);
+  }
+}
+
+void RnsPoly::mul_inplace(const RnsPoly& o) {
+  check_compatible(*this, o);
+  sp::check(ntt_, "RnsPoly::mul_inplace: requires NTT form");
+  for (int i = 0; i < row_count(); ++i) {
+    const Modulus& m = row_mod(i);
+    u64* a = row(i);
+    const u64* b = o.row(i);
+    for (std::size_t j = 0; j < n(); ++j) a[j] = m.mul(a[j], b[j]);
+  }
+}
+
+void RnsPoly::mul_scalar_inplace(u64 v) {
+  for (int i = 0; i < row_count(); ++i) {
+    const Modulus& m = row_mod(i);
+    const u64 vi = v % m.value();
+    const u64 vs = shoup_precompute(vi, m.value());
+    u64* a = row(i);
+    for (std::size_t j = 0; j < n(); ++j) a[j] = mul_shoup(a[j], vi, vs, m.value());
+  }
+}
+
+void RnsPoly::drop_last_q() {
+  sp::check(q_count_ >= 2, "RnsPoly::drop_last_q: cannot drop base prime");
+  rows_.erase(rows_.begin() + (q_count_ - 1));
+  --q_count_;
+}
+
+void RnsPoly::drop_special() {
+  sp::check(with_special_, "RnsPoly::drop_special: no special row");
+  rows_.pop_back();
+  with_special_ = false;
+}
+
+void RnsPoly::set_from_signed(const std::vector<std::int64_t>& coeffs) {
+  sp::check(coeffs.size() == n(), "RnsPoly::set_from_signed: size mismatch");
+  sp::check(!ntt_, "RnsPoly::set_from_signed: expects coefficient form");
+  for (int i = 0; i < row_count(); ++i) {
+    const Modulus& m = row_mod(i);
+    u64* a = row(i);
+    for (std::size_t j = 0; j < n(); ++j) a[j] = m.from_signed(coeffs[j]);
+  }
+}
+
+void RnsPoly::sample_ternary(sp::Rng& rng) {
+  std::vector<std::int64_t> c(n());
+  for (auto& v : c) v = rng.ternary();
+  set_from_signed(c);
+}
+
+void RnsPoly::sample_gaussian(sp::Rng& rng, double stddev) {
+  std::vector<std::int64_t> c(n());
+  for (auto& v : c) v = static_cast<std::int64_t>(std::llround(rng.normal(0.0, stddev)));
+  set_from_signed(c);
+}
+
+void RnsPoly::sample_uniform(sp::Rng& rng) {
+  for (int i = 0; i < row_count(); ++i) {
+    const Modulus& m = row_mod(i);
+    u64* a = row(i);
+    for (std::size_t j = 0; j < n(); ++j) {
+      // Rejection-free 128-bit reduction keeps bias below 2^-64.
+      a[j] = m.reduce128((static_cast<u128>(rng.next_u64()) << 64) | rng.next_u64());
+    }
+  }
+}
+
+}  // namespace sp::fhe

@@ -1,0 +1,96 @@
+#include "models/zoo.h"
+
+#include "nn/layers.h"
+
+namespace sp::models {
+
+using nn::BasicBlock;
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::Dropout;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::Linear;
+using nn::MaxPool2d;
+using nn::ReLU;
+using nn::Sequential;
+
+nn::Model resnet18(const ModelConfig& cfg) {
+  sp::Rng rng(cfg.seed);
+  auto net = std::make_unique<Sequential>("resnet18");
+  const int w = cfg.width;
+  net->add(std::make_unique<Conv2d>(cfg.in_channels, w, 3, 1, 1, rng, false, "stem.conv"));
+  net->add(std::make_unique<BatchNorm2d>(w, false, 0.1, "stem.bn"));
+  net->add(std::make_unique<ReLU>("stem.relu"));
+  net->add(std::make_unique<MaxPool2d>(2, 2, 0, "stem.maxpool"));
+
+  int in_ch = w;
+  const int stage_width[4] = {w, 2 * w, 4 * w, 8 * w};
+  const int stage_stride[4] = {1, 2, 2, 2};
+  for (int s = 0; s < 4; ++s) {
+    for (int b = 0; b < 2; ++b) {
+      const int stride = b == 0 ? stage_stride[s] : 1;
+      const std::string name = "layer" + std::to_string(s + 1) + "." + std::to_string(b);
+      net->add(std::make_unique<BasicBlock>(in_ch, stage_width[s], stride, rng, name));
+      in_ch = stage_width[s];
+    }
+  }
+  net->add(std::make_unique<GlobalAvgPool>());
+  net->add(std::make_unique<Flatten>());
+  net->add(std::make_unique<Dropout>(0.3, cfg.seed + 101, "head.dropout"));
+  net->add(std::make_unique<Linear>(in_ch, cfg.num_classes, rng, true, "fc"));
+  return nn::Model(std::move(net), "resnet18");
+}
+
+nn::Model vgg19(const ModelConfig& cfg) {
+  sp::Rng rng(cfg.seed);
+  auto net = std::make_unique<Sequential>("vgg19");
+  // Standard VGG-19 plan scaled by width/64; 'M' = maxpool.
+  const int plan[] = {1, 1, 0, 2, 2, 0, 4, 4, 4, 4, 0, 8, 8, 8, 8, 0, 8, 8, 8, 8, 0};
+  int in_ch = cfg.in_channels;
+  int conv_id = 0, pool_id = 0;
+  for (int p : plan) {
+    if (p == 0) {
+      net->add(std::make_unique<MaxPool2d>(2, 2, 0, "pool" + std::to_string(pool_id++)));
+      continue;
+    }
+    const int out_ch = p * cfg.width;
+    const std::string name = "conv" + std::to_string(conv_id++);
+    net->add(std::make_unique<Conv2d>(in_ch, out_ch, 3, 1, 1, rng, false, name));
+    net->add(std::make_unique<BatchNorm2d>(out_ch, false, 0.1, name + ".bn"));
+    net->add(std::make_unique<ReLU>(name + ".relu"));
+    in_ch = out_ch;
+  }
+  net->add(std::make_unique<Flatten>());
+  const int fc_w = 8 * cfg.width;
+  net->add(std::make_unique<Linear>(in_ch, fc_w, rng, true, "fc0"));
+  net->add(std::make_unique<ReLU>("fc0.relu"));
+  net->add(std::make_unique<Dropout>(0.3, cfg.seed + 103, "fc0.dropout"));
+  net->add(std::make_unique<Linear>(fc_w, fc_w, rng, true, "fc1"));
+  net->add(std::make_unique<ReLU>("fc1.relu"));
+  net->add(std::make_unique<Linear>(fc_w, cfg.num_classes, rng, true, "fc2"));
+  return nn::Model(std::move(net), "vgg19");
+}
+
+nn::Model cnn7(const ModelConfig& cfg) {
+  sp::Rng rng(cfg.seed);
+  auto net = std::make_unique<Sequential>("cnn7");
+  const int w = cfg.width;
+  int in_ch = cfg.in_channels;
+  for (int i = 0; i < 3; ++i) {
+    const int out_ch = w << i;
+    const std::string name = "conv" + std::to_string(i);
+    net->add(std::make_unique<Conv2d>(in_ch, out_ch, 3, 1, 1, rng, true, name));
+    net->add(std::make_unique<ReLU>(name + ".relu"));
+    net->add(std::make_unique<MaxPool2d>(2, 2, 0, name + ".pool"));
+    in_ch = out_ch;
+  }
+  net->add(std::make_unique<GlobalAvgPool>());
+  net->add(std::make_unique<Flatten>());
+  net->add(std::make_unique<Linear>(in_ch, 4 * w, rng, true, "fc0"));
+  net->add(std::make_unique<ReLU>("fc0.relu"));
+  net->add(std::make_unique<Linear>(4 * w, cfg.num_classes, rng, true, "fc1"));
+  return nn::Model(std::move(net), "cnn7");
+}
+
+}  // namespace sp::models

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "nn/container.h"
+
+namespace sp::models {
+
+/// Width/resolution-scalable model configuration. The default widths are
+/// reduced so CPU fine-tuning completes in minutes; the *non-polynomial
+/// operator structure* — the object SMART-PAF manipulates — is identical to
+/// the paper's models.
+struct ModelConfig {
+  int num_classes = 10;
+  int width = 8;        ///< base channel count (64 in the full-size models)
+  int in_channels = 3;
+  std::uint64_t seed = 1;
+};
+
+/// ResNet-18: stem conv-bn-relu + maxpool, 4 stages x 2 BasicBlocks, global
+/// average pool, FC. Exactly 17 ReLU + 1 MaxPool, matching the paper's
+/// count for ResNet-18 (§5.1). Input is expected at 16x16 (or larger
+/// powers of two).
+nn::Model resnet18(const ModelConfig& cfg);
+
+/// VGG-19: 16 conv-relu (+ 5 maxpool) feature layers and a 3-layer
+/// classifier with 2 ReLU — 18 ReLU + 5 MaxPool total, matching §5.1.
+/// Input must be 32x32 (five 2x halvings).
+nn::Model vgg19(const ModelConfig& cfg);
+
+/// 7-layer CNN in the style of the SAFENet/CryptoNets evaluation models:
+/// 3 conv-relu blocks with pooling + 1 hidden FC. Used for quick tests.
+nn::Model cnn7(const ModelConfig& cfg);
+
+}  // namespace sp::models

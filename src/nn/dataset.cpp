@@ -1,0 +1,47 @@
+#include "nn/dataset.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace sp::nn {
+
+Batch Dataset::batch(const std::vector<int>& idx) const {
+  sp::check(!idx.empty(), "Dataset::batch: empty index list");
+  const int c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  Batch b;
+  b.x = Tensor({static_cast<int>(idx.size()), c, h, w});
+  b.y.reserve(idx.size());
+  const std::size_t sample = static_cast<std::size_t>(c) * h * w;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const auto src = static_cast<std::size_t>(idx[i]) * sample;
+    std::copy(images.data() + src, images.data() + src + sample,
+              b.x.data() + i * sample);
+    b.y.push_back(labels[static_cast<std::size_t>(idx[i])]);
+  }
+  return b;
+}
+
+BatchIterator::BatchIterator(const Dataset& ds, int batch_size, sp::Rng& rng, bool shuffle)
+    : ds_(&ds), batch_size_(batch_size), rng_(&rng), shuffle_(shuffle) {
+  order_.resize(static_cast<std::size_t>(ds.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  reset();
+}
+
+void BatchIterator::reset() {
+  pos_ = 0;
+  if (shuffle_) rng_->shuffle(order_);
+}
+
+bool BatchIterator::next(Batch& out) {
+  if (pos_ >= order_.size()) return false;
+  const std::size_t end = std::min(pos_ + static_cast<std::size_t>(batch_size_), order_.size());
+  std::vector<int> idx(order_.begin() + static_cast<long>(pos_),
+                       order_.begin() + static_cast<long>(end));
+  pos_ = end;
+  out = ds_->batch(idx);
+  return true;
+}
+
+}  // namespace sp::nn

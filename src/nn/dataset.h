@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace sp::nn {
+
+/// One mini-batch: images [B, C, H, W] + integer labels.
+struct Batch {
+  Tensor x;
+  std::vector<int> y;
+};
+
+/// In-memory labelled image dataset.
+struct Dataset {
+  Tensor images;            ///< [N, C, H, W]
+  std::vector<int> labels;  ///< size N
+  int num_classes = 0;
+
+  int size() const { return images.numel() ? images.dim(0) : 0; }
+
+  /// Assembles a batch from sample indices.
+  Batch batch(const std::vector<int>& idx) const;
+};
+
+/// Shuffling mini-batch iterator over a dataset.
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& ds, int batch_size, sp::Rng& rng, bool shuffle = true);
+  bool next(Batch& out);
+  void reset();
+
+ private:
+  const Dataset* ds_;
+  int batch_size_;
+  sp::Rng* rng_;
+  bool shuffle_;
+  std::vector<int> order_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sp::nn

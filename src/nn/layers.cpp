@@ -1,0 +1,456 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sp::nn {
+namespace {
+
+void kaiming_init(Tensor& w, int fan_in, sp::Rng& rng) {
+  const double bound = std::sqrt(6.0 / fan_in);
+  for (std::size_t i = 0; i < w.numel(); ++i)
+    w[i] = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+int out_size(int in, int k, int stride, int pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Conv2d --
+
+Conv2d::Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad, sp::Rng& rng,
+               bool bias, const std::string& name)
+    : in_ch_(in_ch), out_ch_(out_ch), k_(kernel), stride_(stride), pad_(pad),
+      has_bias_(bias), name_(name) {
+  w_.name = name + ".w";
+  w_.value = Tensor({out_ch, in_ch, kernel, kernel});
+  w_.grad = Tensor({out_ch, in_ch, kernel, kernel});
+  kaiming_init(w_.value, in_ch * kernel * kernel, rng);
+  if (has_bias_) {
+    b_.name = name + ".b";
+    b_.value = Tensor({out_ch});
+    b_.grad = Tensor({out_ch});
+  }
+}
+
+void Conv2d::im2col(const Tensor& x, int n, std::vector<float>& col) const {
+  const int h = x.dim(2), w = x.dim(3);
+  const int kk = k_ * k_;
+  std::size_t idx = 0;
+  for (int c = 0; c < in_ch_; ++c) {
+    for (int p = 0; p < kk; ++p) {
+      const int dy = p / k_, dx = p % k_;
+      for (int oy = 0; oy < oh_; ++oy) {
+        const int iy = oy * stride_ + dy - pad_;
+        for (int ox = 0; ox < ow_; ++ox) {
+          const int ix = ox * stride_ + dx - pad_;
+          col[idx++] = (iy >= 0 && iy < h && ix >= 0 && ix < w) ? x.at(n, c, iy, ix) : 0.0f;
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::col2im(const std::vector<float>& col, int n, Tensor& gx) const {
+  const int h = gx.dim(2), w = gx.dim(3);
+  const int kk = k_ * k_;
+  std::size_t idx = 0;
+  for (int c = 0; c < in_ch_; ++c) {
+    for (int p = 0; p < kk; ++p) {
+      const int dy = p / k_, dx = p % k_;
+      for (int oy = 0; oy < oh_; ++oy) {
+        const int iy = oy * stride_ + dy - pad_;
+        for (int ox = 0; ox < ow_; ++ox) {
+          const int ix = ox * stride_ + dx - pad_;
+          if (iy >= 0 && iy < h && ix >= 0 && ix < w) gx.at(n, c, iy, ix) += col[idx];
+          ++idx;
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  sp::check(x.ndim() == 4 && x.dim(1) == in_ch_, "Conv2d: bad input " + x.shape_str());
+  const int batch = x.dim(0);
+  oh_ = out_size(x.dim(2), k_, stride_, pad_);
+  ow_ = out_size(x.dim(3), k_, stride_, pad_);
+  Tensor y({batch, out_ch_, oh_, ow_});
+  const int cols = oh_ * ow_;
+  const int rows = in_ch_ * k_ * k_;
+  std::vector<float> col(static_cast<std::size_t>(rows) * cols);
+  for (int n = 0; n < batch; ++n) {
+    im2col(x, n, col);
+    matmul(w_.value.data(), col.data(), &y.vec()[static_cast<std::size_t>(n) * out_ch_ * cols],
+           out_ch_, rows, cols);
+    if (has_bias_) {
+      for (int oc = 0; oc < out_ch_; ++oc) {
+        const float bv = b_.value[static_cast<std::size_t>(oc)];
+        float* row = &y.vec()[(static_cast<std::size_t>(n) * out_ch_ + oc) * cols];
+        for (int i = 0; i < cols; ++i) row[i] += bv;
+      }
+    }
+  }
+  if (train) x_cache_ = x;
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& gy) {
+  const Tensor& x = x_cache_;
+  const int batch = x.dim(0);
+  const int cols = oh_ * ow_;
+  const int rows = in_ch_ * k_ * k_;
+  Tensor gx(x.shape());
+  std::vector<float> col(static_cast<std::size_t>(rows) * cols);
+  std::vector<float> gcol(static_cast<std::size_t>(rows) * cols);
+  for (int n = 0; n < batch; ++n) {
+    const float* gyn = &gy.vec()[static_cast<std::size_t>(n) * out_ch_ * cols];
+    im2col(x, n, col);
+    // dW += gy * col^T
+    matmul_nt(gyn, col.data(), w_.grad.data(), out_ch_, cols, rows, /*accumulate=*/true);
+    // dcol = W^T * gy
+    matmul_tn(w_.value.data(), gyn, gcol.data(), rows, out_ch_, cols);
+    col2im(gcol, n, gx);
+    if (has_bias_) {
+      for (int oc = 0; oc < out_ch_; ++oc) {
+        float acc = 0.0f;
+        const float* row = gyn + static_cast<std::size_t>(oc) * cols;
+        for (int i = 0; i < cols; ++i) acc += row[i];
+        b_.grad[static_cast<std::size_t>(oc)] += acc;
+      }
+    }
+  }
+  return gx;
+}
+
+void Conv2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&w_);
+  if (has_bias_) out.push_back(&b_);
+}
+
+// ----------------------------------------------------------------- Linear --
+
+Linear::Linear(int in, int out, sp::Rng& rng, bool bias, const std::string& name)
+    : in_(in), out_(out), has_bias_(bias), name_(name) {
+  w_.name = name + ".w";
+  w_.value = Tensor({out, in});
+  w_.grad = Tensor({out, in});
+  kaiming_init(w_.value, in, rng);
+  if (has_bias_) {
+    b_.name = name + ".b";
+    b_.value = Tensor({out});
+    b_.grad = Tensor({out});
+  }
+}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  sp::check(x.ndim() == 2 && x.dim(1) == in_, "Linear: bad input " + x.shape_str());
+  const int batch = x.dim(0);
+  Tensor y({batch, out_});
+  matmul_nt(x.data(), w_.value.data(), y.data(), batch, in_, out_);
+  if (has_bias_)
+    for (int n = 0; n < batch; ++n)
+      for (int o = 0; o < out_; ++o) y.at(n, o) += b_.value[static_cast<std::size_t>(o)];
+  if (train) x_cache_ = x;
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& gy) {
+  const int batch = x_cache_.dim(0);
+  // dW += gy^T * x
+  matmul_tn(gy.data(), x_cache_.data(), w_.grad.data(), out_, batch, in_, true);
+  if (has_bias_)
+    for (int n = 0; n < batch; ++n)
+      for (int o = 0; o < out_; ++o) b_.grad[static_cast<std::size_t>(o)] += gy.at(n, o);
+  Tensor gx({batch, in_});
+  matmul(gy.data(), w_.value.data(), gx.data(), batch, out_, in_);
+  return gx;
+}
+
+void Linear::collect_params(std::vector<Param*>& out) {
+  out.push_back(&w_);
+  if (has_bias_) out.push_back(&b_);
+}
+
+// ------------------------------------------------------------ BatchNorm2d --
+
+BatchNorm2d::BatchNorm2d(int channels, bool track_running_stats, double momentum,
+                         const std::string& name)
+    : ch_(channels), track_(track_running_stats), momentum_(momentum), name_(name) {
+  gamma_.name = name + ".gamma";
+  gamma_.value = Tensor({channels});
+  gamma_.value.fill(1.0f);
+  gamma_.grad = Tensor({channels});
+  beta_.name = name + ".beta";
+  beta_.value = Tensor({channels});
+  beta_.grad = Tensor({channels});
+  running_mean_ = Tensor({channels});
+  running_var_ = Tensor({channels});
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  sp::check(x.ndim() == 4 && x.dim(1) == ch_, "BatchNorm2d: bad input " + x.shape_str());
+  const int batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int cnt = batch * h * w;
+  count_per_ch_ = cnt;
+  const bool use_batch_stats = train || !track_;
+
+  mean_.assign(static_cast<std::size_t>(ch_), 0.0f);
+  invstd_.assign(static_cast<std::size_t>(ch_), 0.0f);
+  for (int c = 0; c < ch_; ++c) {
+    double mean, var;
+    if (use_batch_stats) {
+      double s = 0.0, s2 = 0.0;
+      for (int n = 0; n < batch; ++n)
+        for (int i = 0; i < h; ++i)
+          for (int j = 0; j < w; ++j) {
+            const double v = x.at(n, c, i, j);
+            s += v;
+            s2 += v * v;
+          }
+      mean = s / cnt;
+      var = s2 / cnt - mean * mean;
+      if (train && track_) {
+        running_mean_[static_cast<std::size_t>(c)] = static_cast<float>(
+            (1 - momentum_) * running_mean_[static_cast<std::size_t>(c)] + momentum_ * mean);
+        running_var_[static_cast<std::size_t>(c)] = static_cast<float>(
+            (1 - momentum_) * running_var_[static_cast<std::size_t>(c)] + momentum_ * var);
+      }
+    } else {
+      mean = running_mean_[static_cast<std::size_t>(c)];
+      var = running_var_[static_cast<std::size_t>(c)];
+    }
+    mean_[static_cast<std::size_t>(c)] = static_cast<float>(mean);
+    invstd_[static_cast<std::size_t>(c)] = static_cast<float>(1.0 / std::sqrt(var + 1e-5));
+  }
+
+  Tensor y(x.shape());
+  xhat_ = Tensor(x.shape());
+  for (int c = 0; c < ch_; ++c) {
+    const float m = mean_[static_cast<std::size_t>(c)];
+    const float is = invstd_[static_cast<std::size_t>(c)];
+    const float g = gamma_.value[static_cast<std::size_t>(c)];
+    const float b = beta_.value[static_cast<std::size_t>(c)];
+    for (int n = 0; n < batch; ++n)
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) {
+          const float xh = (x.at(n, c, i, j) - m) * is;
+          xhat_.at(n, c, i, j) = xh;
+          y.at(n, c, i, j) = g * xh + b;
+        }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& gy) {
+  const int batch = gy.dim(0), h = gy.dim(2), w = gy.dim(3);
+  const float cnt = static_cast<float>(count_per_ch_);
+  Tensor gx(gy.shape());
+  for (int c = 0; c < ch_; ++c) {
+    float sum_gy = 0.0f, sum_gy_xhat = 0.0f;
+    for (int n = 0; n < batch; ++n)
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) {
+          sum_gy += gy.at(n, c, i, j);
+          sum_gy_xhat += gy.at(n, c, i, j) * xhat_.at(n, c, i, j);
+        }
+    gamma_.grad[static_cast<std::size_t>(c)] += sum_gy_xhat;
+    beta_.grad[static_cast<std::size_t>(c)] += sum_gy;
+    const float g = gamma_.value[static_cast<std::size_t>(c)];
+    const float is = invstd_[static_cast<std::size_t>(c)];
+    for (int n = 0; n < batch; ++n)
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) {
+          const float xh = xhat_.at(n, c, i, j);
+          gx.at(n, c, i, j) =
+              g * is / cnt * (cnt * gy.at(n, c, i, j) - sum_gy - xh * sum_gy_xhat);
+        }
+  }
+  return gx;
+}
+
+void BatchNorm2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+// ------------------------------------------------------------------- ReLU --
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  Tensor y(x.shape());
+  if (train) mask_ = Tensor(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    if (profile_) profile_(x[i]);
+    const bool pos = x[i] > 0.0f;
+    y[i] = pos ? x[i] : 0.0f;
+    if (train) mask_[i] = pos ? 1.0f : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& gy) {
+  Tensor gx(gy.shape());
+  for (std::size_t i = 0; i < gy.numel(); ++i) gx[i] = gy[i] * mask_[i];
+  return gx;
+}
+
+// -------------------------------------------------------------- MaxPool2d --
+
+MaxPool2d::MaxPool2d(int kernel, int stride, int pad, const std::string& name)
+    : k_(kernel), stride_(stride), pad_(pad), name_(name) {}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool train) {
+  const int batch = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = out_size(h, k_, stride_, pad_), ow = out_size(w, k_, stride_, pad_);
+  Tensor y({batch, c, oh, ow});
+  in_shape_ = x.shape();
+  if (train) argmax_.assign(y.numel(), -1);
+  std::size_t oidx = 0;
+  for (int n = 0; n < batch; ++n)
+    for (int cc = 0; cc < c; ++cc)
+      for (int oy = 0; oy < oh; ++oy)
+        for (int ox = 0; ox < ow; ++ox, ++oidx) {
+          float best = -1e30f;
+          int best_idx = -1;
+          float prev = 0.0f;
+          bool have_prev = false;
+          for (int dy = 0; dy < k_; ++dy)
+            for (int dx = 0; dx < k_; ++dx) {
+              const int iy = oy * stride_ + dy - pad_;
+              const int ix = ox * stride_ + dx - pad_;
+              if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+              const float v = x.at(n, cc, iy, ix);
+              if (profile_) {
+                // Record pairwise tournament differences (the PAF-max
+                // operands): running-max vs next element.
+                if (have_prev) profile_(prev - v);
+                prev = std::max(have_prev ? prev : v, v);
+                have_prev = true;
+              }
+              if (v > best) {
+                best = v;
+                best_idx = ((n * c + cc) * h + iy) * w + ix;
+              }
+            }
+          y[oidx] = best;
+          if (train) argmax_[oidx] = best_idx;
+        }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& gy) {
+  Tensor gx(in_shape_);
+  for (std::size_t i = 0; i < gy.numel(); ++i)
+    if (argmax_[i] >= 0) gx[static_cast<std::size_t>(argmax_[i])] += gy[i];
+  return gx;
+}
+
+// -------------------------------------------------------------- AvgPool2d --
+
+AvgPool2d::AvgPool2d(int kernel, int stride, const std::string& name)
+    : k_(kernel), stride_(stride), name_(name) {}
+
+Tensor AvgPool2d::forward(const Tensor& x, bool) {
+  const int batch = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = out_size(h, k_, stride_, 0), ow = out_size(w, k_, stride_, 0);
+  in_shape_ = x.shape();
+  Tensor y({batch, c, oh, ow});
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  for (int n = 0; n < batch; ++n)
+    for (int cc = 0; cc < c; ++cc)
+      for (int oy = 0; oy < oh; ++oy)
+        for (int ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (int dy = 0; dy < k_; ++dy)
+            for (int dx = 0; dx < k_; ++dx)
+              acc += x.at(n, cc, oy * stride_ + dy, ox * stride_ + dx);
+          y.at(n, cc, oy, ox) = acc * inv;
+        }
+  return y;
+}
+
+Tensor AvgPool2d::backward(const Tensor& gy) {
+  Tensor gx(in_shape_);
+  const int oh = gy.dim(2), ow = gy.dim(3);
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  for (int n = 0; n < gy.dim(0); ++n)
+    for (int cc = 0; cc < gy.dim(1); ++cc)
+      for (int oy = 0; oy < oh; ++oy)
+        for (int ox = 0; ox < ow; ++ox) {
+          const float g = gy.at(n, cc, oy, ox) * inv;
+          for (int dy = 0; dy < k_; ++dy)
+            for (int dx = 0; dx < k_; ++dx)
+              gx.at(n, cc, oy * stride_ + dy, ox * stride_ + dx) += g;
+        }
+  return gx;
+}
+
+// ----------------------------------------------------------- GlobalAvgPool --
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool) {
+  const int batch = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  in_shape_ = x.shape();
+  Tensor y({batch, c, 1, 1});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int n = 0; n < batch; ++n)
+    for (int cc = 0; cc < c; ++cc) {
+      float acc = 0.0f;
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) acc += x.at(n, cc, i, j);
+      y.at(n, cc, 0, 0) = acc * inv;
+    }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& gy) {
+  Tensor gx(in_shape_);
+  const int h = in_shape_[2], w = in_shape_[3];
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int n = 0; n < gy.dim(0); ++n)
+    for (int cc = 0; cc < gy.dim(1); ++cc) {
+      const float g = gy.at(n, cc, 0, 0) * inv;
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) gx.at(n, cc, i, j) = g;
+    }
+  return gx;
+}
+
+// ---------------------------------------------------------------- Flatten --
+
+Tensor Flatten::forward(const Tensor& x, bool) {
+  in_shape_ = x.shape();
+  return x.reshaped({x.dim(0), static_cast<int>(x.numel()) / x.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& gy) { return gy.reshaped(in_shape_); }
+
+// ---------------------------------------------------------------- Dropout --
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || !enabled_ || p_ <= 0.0) {
+    mask_ = Tensor();
+    return x;
+  }
+  mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  const float keep = static_cast<float>(1.0 - p_);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const bool on = !rng_.coin(p_);
+    mask_[i] = on ? 1.0f / keep : 0.0f;
+    y[i] = x[i] * mask_[i];
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& gy) {
+  if (mask_.numel() == 0) return gy;
+  Tensor gx(gy.shape());
+  for (std::size_t i = 0; i < gy.numel(); ++i) gx[i] = gy[i] * mask_[i];
+  return gx;
+}
+
+}  // namespace sp::nn

@@ -1,0 +1,186 @@
+#pragma once
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace sp::nn {
+
+/// 2-D convolution (im2col + matmul), Kaiming-uniform initialized.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad, sp::Rng& rng,
+         bool bias = true, const std::string& name = "conv");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+
+  int out_channels() const { return out_ch_; }
+
+ private:
+  void im2col(const Tensor& x, int n, std::vector<float>& col) const;
+  void col2im(const std::vector<float>& col, int n, Tensor& gx) const;
+
+  int in_ch_, out_ch_, k_, stride_, pad_;
+  bool has_bias_;
+  std::string name_;
+  Param w_, b_;
+  Tensor x_cache_;
+  int oh_ = 0, ow_ = 0;
+};
+
+/// Fully-connected layer.
+class Linear final : public Layer {
+ public:
+  Linear(int in, int out, sp::Rng& rng, bool bias = true,
+         const std::string& name = "linear");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  int in_, out_;
+  bool has_bias_;
+  std::string name_;
+  Param w_, b_;
+  Tensor x_cache_;
+};
+
+/// Per-channel batch normalization. With `track_running_stats=false` (the
+/// paper's Table-5 setting) batch statistics are used in both modes.
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(int channels, bool track_running_stats = false,
+                       double momentum = 0.1, const std::string& name = "bn");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  int ch_;
+  bool track_;
+  double momentum_;
+  std::string name_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  // backward cache
+  Tensor xhat_;
+  std::vector<float> invstd_, mean_;
+  int count_per_ch_ = 0;
+};
+
+/// ReLU — a non-polynomial operator (replacement target).
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(const std::string& name = "relu") : name_(name) {}
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return name_; }
+  bool is_nonpoly() const override { return true; }
+
+  /// Optional profiling hook: when set, forward() records every input value
+  /// (Coefficient Tuning step 2, paper §4.2).
+  using profile_fn = std::function<void(float)>;
+  void set_profile(profile_fn fn) { profile_ = std::move(fn); }
+
+ private:
+  std::string name_;
+  Tensor mask_;
+  profile_fn profile_;
+};
+
+/// Max pooling — a non-polynomial operator (replacement target).
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(int kernel, int stride, int pad = 0, const std::string& name = "maxpool");
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return name_; }
+  bool is_nonpoly() const override { return true; }
+
+  int kernel() const { return k_; }
+  int stride() const { return stride_; }
+  int pad() const { return pad_; }
+
+  /// Profiling hook recording pairwise tournament differences (the PAF-max
+  /// inputs), used by Coefficient Tuning for pool sites.
+  using profile_fn = std::function<void(float)>;
+  void set_profile(profile_fn fn) { profile_ = std::move(fn); }
+
+ private:
+  int k_, stride_, pad_;
+  std::string name_;
+  std::vector<int> argmax_;
+  std::vector<int> in_shape_;
+  profile_fn profile_;
+};
+
+/// Average pooling.
+class AvgPool2d final : public Layer {
+ public:
+  AvgPool2d(int kernel, int stride, const std::string& name = "avgpool");
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return name_; }
+
+ private:
+  int k_, stride_;
+  std::string name_;
+  std::vector<int> in_shape_;
+};
+
+/// Global average pooling to 1x1.
+class GlobalAvgPool final : public Layer {
+ public:
+  explicit GlobalAvgPool(const std::string& name = "gap") : name_(name) {}
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<int> in_shape_;
+};
+
+/// [B,C,H,W] -> [B, C*H*W].
+class Flatten final : public Layer {
+ public:
+  explicit Flatten(const std::string& name = "flatten") : name_(name) {}
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<int> in_shape_;
+};
+
+/// Inverted dropout. The SMART-PAF scheduler enables it on detecting
+/// overfitting (Fig. 6), so the rate is mutable at runtime.
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(double p = 0.5, std::uint64_t seed = 7,
+                   const std::string& name = "dropout")
+      : p_(p), enabled_(false), rng_(seed), name_(name) {}
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return name_; }
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+ private:
+  double p_;
+  bool enabled_;
+  sp::Rng rng_;
+  std::string name_;
+  Tensor mask_;
+};
+
+}  // namespace sp::nn

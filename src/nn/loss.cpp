@@ -1,0 +1,41 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sp::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels) {
+  sp::check(logits.ndim() == 2, "softmax_cross_entropy: logits must be [B, C]");
+  const int batch = logits.dim(0), classes = logits.dim(1);
+  sp::check(static_cast<int>(labels.size()) == batch,
+            "softmax_cross_entropy: label count mismatch");
+
+  LossResult out;
+  out.grad = Tensor({batch, classes});
+  double total = 0.0;
+  for (int n = 0; n < batch; ++n) {
+    float mx = logits.at(n, 0);
+    int argmax = 0;
+    for (int c = 1; c < classes; ++c)
+      if (logits.at(n, c) > mx) {
+        mx = logits.at(n, c);
+        argmax = c;
+      }
+    if (argmax == labels[static_cast<std::size_t>(n)]) ++out.correct;
+    double z = 0.0;
+    for (int c = 0; c < classes; ++c) z += std::exp(static_cast<double>(logits.at(n, c) - mx));
+    const int y = labels[static_cast<std::size_t>(n)];
+    sp::check(y >= 0 && y < classes, "softmax_cross_entropy: label out of range");
+    total += -(static_cast<double>(logits.at(n, y) - mx) - std::log(z));
+    for (int c = 0; c < classes; ++c) {
+      const double p = std::exp(static_cast<double>(logits.at(n, c) - mx)) / z;
+      out.grad.at(n, c) = static_cast<float>((p - (c == y ? 1.0 : 0.0)) / batch);
+    }
+  }
+  out.loss = total / batch;
+  return out;
+}
+
+}  // namespace sp::nn

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace sp::nn {
+
+/// Result of a softmax cross-entropy evaluation over one batch.
+struct LossResult {
+  double loss = 0.0;    ///< mean cross-entropy
+  Tensor grad;          ///< dL/dlogits, already divided by batch size
+  int correct = 0;      ///< top-1 hits
+};
+
+/// Mean softmax cross-entropy over logits [B, C] and integer labels.
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace sp::nn

@@ -1,0 +1,84 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace sp::nn {
+
+Adam::Adam(std::vector<Param*> params, HyperParams paf_hp, HyperParams other_hp)
+    : params_(std::move(params)), paf_hp_(paf_hp), other_hp_(other_hp) {
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::rebind(std::vector<Param*> params) {
+  params_ = std::move(params);
+  m_.clear();
+  v_.clear();
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+  t_ = 0;
+}
+
+void Adam::zero_grad() {
+  for (Param* p : params_) p->grad.fill(0.0f);
+}
+
+void Adam::step() {
+  ++t_;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    if (p->frozen) continue;
+    const HyperParams& hp = p->group == ParamGroup::PafCoeff ? paf_hp_ : other_hp_;
+    const double bc1 = 1.0 - std::pow(hp.beta1, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(hp.beta2, static_cast<double>(t_));
+    for (std::size_t j = 0; j < p->value.numel(); ++j) {
+      // Decoupled weight decay (AdamW-style).
+      const double g = p->grad[j] + hp.weight_decay * p->value[j];
+      m_[i][j] = static_cast<float>(hp.beta1 * m_[i][j] + (1 - hp.beta1) * g);
+      v_[i][j] = static_cast<float>(hp.beta2 * v_[i][j] + (1 - hp.beta2) * g * g);
+      const double mhat = m_[i][j] / bc1;
+      const double vhat = v_[i][j] / bc2;
+      p->value[j] -= static_cast<float>(hp.lr * mhat / (std::sqrt(vhat) + hp.eps));
+    }
+  }
+}
+
+void Adam::set_group_frozen(ParamGroup g, bool frozen) {
+  for (Param* p : params_)
+    if (p->group == g) p->frozen = frozen;
+}
+
+Sgd::Sgd(std::vector<Param*> params, HyperParams paf_hp, HyperParams other_hp,
+         double momentum)
+    : params_(std::move(params)), paf_hp_(paf_hp), other_hp_(other_hp),
+      momentum_(momentum) {
+  for (Param* p : params_) vel_.emplace_back(p->value.shape());
+}
+
+void Sgd::zero_grad() {
+  for (Param* p : params_) p->grad.fill(0.0f);
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    if (p->frozen) continue;
+    const HyperParams& hp = p->group == ParamGroup::PafCoeff ? paf_hp_ : other_hp_;
+    for (std::size_t j = 0; j < p->value.numel(); ++j) {
+      const double g = p->grad[j] + hp.weight_decay * p->value[j];
+      vel_[i][j] = static_cast<float>(momentum_ * vel_[i][j] + g);
+      p->value[j] -= static_cast<float>(hp.lr * vel_[i][j]);
+    }
+  }
+}
+
+void Sgd::set_group_frozen(ParamGroup g, bool frozen) {
+  for (Param* p : params_)
+    if (p->group == g) p->frozen = frozen;
+}
+
+}  // namespace sp::nn

@@ -1,0 +1,26 @@
+#include "nn/swa.h"
+
+#include "common/check.h"
+
+namespace sp::nn {
+
+SwaAverager::SwaAverager(std::vector<Param*> params) : params_(std::move(params)) {
+  for (Param* p : params_) avg_.emplace_back(p->value.shape());
+}
+
+void SwaAverager::update() {
+  ++count_;
+  const float w = 1.0f / static_cast<float>(count_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const Tensor& v = params_[i]->value;
+    Tensor& a = avg_[i];
+    for (std::size_t j = 0; j < v.numel(); ++j) a[j] += (v[j] - a[j]) * w;
+  }
+}
+
+void SwaAverager::apply() const {
+  sp::check(count_ > 0, "SwaAverager::apply: no snapshots collected");
+  for (std::size_t i = 0; i < params_.size(); ++i) params_[i]->value = avg_[i];
+}
+
+}  // namespace sp::nn

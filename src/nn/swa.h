@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace sp::nn {
+
+/// Stochastic Weight Averaging: maintains a running average of parameter
+/// values across update() calls. The SMART-PAF scheduler applies SWA after
+/// each training group of E epochs (paper Fig. 6 / §6).
+class SwaAverager {
+ public:
+  explicit SwaAverager(std::vector<Param*> params);
+
+  /// Folds the current parameter values into the running average.
+  void update();
+
+  /// Number of snapshots averaged so far.
+  int count() const { return count_; }
+
+  /// The averaged values (aligned with the constructor's parameter order).
+  const std::vector<Tensor>& average() const { return avg_; }
+
+  /// Writes the average into the live parameters.
+  void apply() const;
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> avg_;
+  int count_ = 0;
+};
+
+}  // namespace sp::nn

@@ -1,0 +1,90 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sp::nn {
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  std::size_t n = 1;
+  for (int d : shape_) {
+    sp::check(d > 0, "Tensor: dimensions must be positive");
+    n *= static_cast<std::size_t>(d);
+  }
+  data_.assign(n, 0.0f);
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+Tensor Tensor::reshaped(std::vector<int> shape) const {
+  Tensor out(std::move(shape));
+  sp::check(out.numel() == numel(), "Tensor::reshaped: element count mismatch");
+  out.data_ = data_;
+  return out;
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) os << (i ? "," : "") << shape_[i];
+  os << "]";
+  return os.str();
+}
+
+void matmul(const float* a, const float* b, float* out, int m, int k, int n,
+            bool accumulate) {
+  if (!accumulate)
+    for (int i = 0; i < m * n; ++i) out[i] = 0.0f;
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      float* orow = out + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_tn(const float* a, const float* b, float* out, int m, int k, int n,
+               bool accumulate) {
+  if (!accumulate)
+    for (int i = 0; i < m * n; ++i) out[i] = 0.0f;
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a + static_cast<std::size_t>(p) * m;
+    const float* brow = b + static_cast<std::size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_nt(const float* a, const float* b, float* out, int m, int k, int n,
+               bool accumulate) {
+  if (!accumulate)
+    for (int i = 0; i < m * n; ++i) out[i] = 0.0f;
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      out[i * n + j] = accumulate ? out[i * n + j] + acc : acc;
+    }
+  }
+}
+
+}  // namespace sp::nn

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sp::nn {
+
+/// Dense float32 tensor with row-major contiguous storage (up to 4-D in
+/// practice: [N, C, H, W] activations, [out, in] matrices).
+///
+/// Deliberately minimal: the training stack below needs shapes, flat access
+/// and a few indexed accessors — no views, no broadcasting.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const { return shape_[static_cast<std::size_t>(i)]; }
+  std::size_t numel() const { return data_.size(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 4-D accessor for [N, C, H, W] tensors.
+  float& at(int n, int c, int h, int w) {
+    return data_[((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  float at(int n, int c, int h, int w) const {
+    return data_[((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  /// 2-D accessor for [rows, cols] tensors.
+  float& at(int r, int c) { return data_[static_cast<std::size_t>(r) * shape_[1] + c]; }
+  float at(int r, int c) const { return data_[static_cast<std::size_t>(r) * shape_[1] + c]; }
+
+  void fill(float v);
+  /// Reinterprets the buffer with a new shape of equal element count.
+  Tensor reshaped(std::vector<int> shape) const;
+
+  /// Max |x| over all elements (Dynamic Scaling uses this).
+  float abs_max() const;
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// out[MxN] = a[MxK] * b[KxN] (row-major, accumulate=false overwrites).
+void matmul(const float* a, const float* b, float* out, int m, int k, int n,
+            bool accumulate = false);
+
+/// out[MxN] = a^T[MxK] * b[KxN] where a is stored [K x M].
+void matmul_tn(const float* a, const float* b, float* out, int m, int k, int n,
+               bool accumulate = false);
+
+/// out[MxN] = a[MxK] * b^T[KxN] where b is stored [N x K].
+void matmul_nt(const float* a, const float* b, float* out, int m, int k, int n,
+               bool accumulate = false);
+
+}  // namespace sp::nn

@@ -1,0 +1,75 @@
+#include "smartpaf/fhe_deploy.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace sp::smartpaf {
+
+FheRuntime::FheRuntime(const fhe::CkksParams& params, std::uint64_t seed) {
+  ctx_ = std::make_unique<fhe::CkksContext>(params);
+  encoder_ = std::make_unique<fhe::Encoder>(*ctx_);
+  keygen_ = std::make_unique<fhe::KeyGenerator>(*ctx_, seed);
+  relin_ = std::make_unique<fhe::KSwitchKey>(keygen_->relin_key());
+  encryptor_ = std::make_unique<fhe::Encryptor>(*ctx_, keygen_->public_key(), seed + 1);
+  decryptor_ = std::make_unique<fhe::Decryptor>(*ctx_, keygen_->secret_key());
+  evaluator_ = std::make_unique<fhe::Evaluator>(*ctx_);
+  paf_eval_ = std::make_unique<fhe::PafEvaluator>(*ctx_, *encoder_, *relin_);
+}
+
+fhe::Ciphertext FheRuntime::encrypt(const std::vector<double>& values) {
+  return encryptor_->encrypt(encoder_->encode(values, ctx_->scale(), ctx_->q_count()));
+}
+
+std::vector<double> FheRuntime::decrypt(const fhe::Ciphertext& ct) {
+  return encoder_->decode(decryptor_->decrypt(ct));
+}
+
+PafLatencyResult measure_paf_relu(FheRuntime& rt, const approx::CompositePaf& paf,
+                                  double input_scale, int repeats, std::uint64_t seed) {
+  sp::Rng rng(seed);
+  std::vector<double> values(rt.ctx().slot_count());
+  for (auto& v : values) v = rng.uniform(-input_scale, input_scale);
+  const fhe::Ciphertext ct = rt.encrypt(values);
+
+  PafLatencyResult out;
+  std::vector<double> times;
+  fhe::Ciphertext result;
+  for (int r = 0; r < repeats; ++r) {
+    fhe::EvalStats stats;
+    result = rt.paf_evaluator().relu(rt.evaluator(), ct, paf, input_scale, &stats);
+    times.push_back(stats.wall_ms);
+    if (r == 0) out.stats = stats;
+  }
+  out.ms_median = sp::median(times);
+  out.ms_best = *std::min_element(times.begin(), times.end());
+
+  const std::vector<double> got = rt.decrypt(result);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double expect = approx::paf_relu(paf, values[i] / input_scale) * input_scale;
+    out.max_error = std::max(out.max_error, std::abs(got[i] - expect));
+  }
+  return out;
+}
+
+std::vector<DeployRow> deployment_report(nn::Model& model, FheRuntime& rt, int repeats) {
+  std::vector<DeployRow> rows;
+  for (PafLayerBase* layer : find_paf_layers(model)) {
+    DeployRow row;
+    row.path = layer->name();
+    row.depth = layer->paf().mult_depth();
+    row.static_scale = layer->static_scale();
+    const double scale = std::max<double>(layer->static_scale(), 1e-3);
+    const PafLatencyResult r = measure_paf_relu(rt, layer->paf(), scale, repeats);
+    row.ms = r.ms_median;
+    if (auto* pool = dynamic_cast<PafMaxPool*>(layer)) {
+      // A k x k window folds k^2 - 1 pairwise maxes, each one PAF call.
+      row.ms *= pool->kernel() * pool->kernel() - 1;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace sp::smartpaf

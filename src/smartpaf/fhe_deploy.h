@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+
+#include "fhe/poly_eval.h"
+#include "smartpaf/replace.h"
+
+namespace sp::smartpaf {
+
+/// Bundles the full CKKS machinery for deployment/latency experiments:
+/// context, keys, encoder, encryptor/decryptor, evaluator and the PAF
+/// polynomial evaluator. Construction is expensive (keygen at large N);
+/// reuse one runtime across measurements.
+class FheRuntime {
+ public:
+  explicit FheRuntime(const fhe::CkksParams& params, std::uint64_t seed = 2024);
+
+  const fhe::CkksContext& ctx() const { return *ctx_; }
+  fhe::Encoder& encoder() { return *encoder_; }
+  fhe::Encryptor& encryptor() { return *encryptor_; }
+  fhe::Decryptor& decryptor() { return *decryptor_; }
+  fhe::Evaluator& evaluator() { return *evaluator_; }
+  fhe::PafEvaluator& paf_evaluator() { return *paf_eval_; }
+  const fhe::KSwitchKey& relin_key() const { return *relin_; }
+
+  /// Encrypts a real vector at top level / default scale.
+  fhe::Ciphertext encrypt(const std::vector<double>& values);
+  /// Decrypts + decodes.
+  std::vector<double> decrypt(const fhe::Ciphertext& ct);
+
+ private:
+  std::unique_ptr<fhe::CkksContext> ctx_;
+  std::unique_ptr<fhe::Encoder> encoder_;
+  std::unique_ptr<fhe::KeyGenerator> keygen_;
+  std::unique_ptr<fhe::KSwitchKey> relin_;
+  std::unique_ptr<fhe::Encryptor> encryptor_;
+  std::unique_ptr<fhe::Decryptor> decryptor_;
+  std::unique_ptr<fhe::Evaluator> evaluator_;
+  std::unique_ptr<fhe::PafEvaluator> paf_eval_;
+};
+
+/// Result of measuring one PAF-ReLU evaluation under CKKS.
+struct PafLatencyResult {
+  double ms_median = 0.0;       ///< wall-clock per PAF-ReLU over all slots
+  double ms_best = 0.0;
+  fhe::EvalStats stats;         ///< op counts and levels consumed
+  double max_error = 0.0;       ///< vs the plaintext PAF-ReLU reference
+};
+
+/// Times the homomorphic PAF-ReLU (paper Table 4 / Fig. 1 latency column):
+/// encrypts a random batch spanning [-input_scale, input_scale], evaluates
+/// relu(x) ≈ 0.5 x (1 + paf(x/s)) `repeats` times and checks the result
+/// against the plaintext computation.
+PafLatencyResult measure_paf_relu(FheRuntime& rt, const approx::CompositePaf& paf,
+                                  double input_scale, int repeats = 3,
+                                  std::uint64_t seed = 7);
+
+/// Deployment report row for one PAF layer of a converted model.
+struct DeployRow {
+  std::string path;
+  int depth = 0;
+  double static_scale = 0.0;
+  double ms = 0.0;
+};
+
+/// Measures every PAF layer of a Static-Scaling model on the runtime and
+/// returns per-layer rows (MaxPool layers report the per-pairwise-max cost
+/// times the tournament size).
+std::vector<DeployRow> deployment_report(nn::Model& model, FheRuntime& rt,
+                                         int repeats = 1);
+
+}  // namespace sp::smartpaf

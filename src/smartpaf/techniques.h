@@ -1,0 +1,22 @@
+#pragma once
+
+#include "nn/container.h"
+#include "nn/dataset.h"
+#include "smartpaf/replace.h"
+
+namespace sp::smartpaf {
+
+/// Which parameter group trains during a phase. Alternate Training (§4.4)
+/// toggles between PafOnly and OtherOnly; the prior-work baseline trains
+/// OtherOnly ("trains other layers, excluding the PAFs", §5.3); PA without
+/// AT trains Both.
+enum class TrainTarget { Both, PafOnly, OtherOnly };
+
+/// Applies group-level freezing for a target (positional freezing composes
+/// on top via freeze_after_site).
+void apply_train_target(nn::Model& model, TrainTarget target);
+
+/// Top-1 accuracy of `model` on `ds` in eval mode.
+double evaluate_accuracy(nn::Model& model, const nn::Dataset& ds, int batch_size = 64);
+
+}  // namespace sp::smartpaf

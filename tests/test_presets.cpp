@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/presets.h"
+
+namespace {
+
+using namespace sp::approx;
+
+TEST(Presets, Table2DepthMatchesPaper) {
+  // The load-bearing reproduction of Table 2: multiplication depth computed
+  // from the power-ladder rule must equal the paper's published row.
+  for (PafForm form : all_forms()) {
+    const CompositePaf paf = make_paf(form);
+    EXPECT_EQ(paf.mult_depth(), paper_mult_depth(form)) << form_name(form);
+  }
+}
+
+TEST(Presets, DegreeSumMatchesPaperLabelForMinimaxForms) {
+  // The paper's "degree" labels are stage-degree sums for the composite
+  // forms; f1^2∘g1^2 is labelled 14 in the paper (4 cubic stages).
+  EXPECT_EQ(make_paf(PafForm::ALPHA10_D27).degree_sum(), 27);
+  EXPECT_EQ(make_paf(PafForm::ALPHA7).degree_sum(), 14);  // two degree-7 stages
+  EXPECT_EQ(make_paf(PafForm::F2_G3).degree_sum(), 12);
+  EXPECT_EQ(make_paf(PafForm::F2_G2).degree_sum(), 10);
+  EXPECT_EQ(make_paf(PafForm::F1_G2).degree_sum(), 8);
+  EXPECT_EQ(make_paf(PafForm::F1SQ_G1SQ).degree_sum(), 12);
+}
+
+TEST(Presets, CheonFBasesFixPlusMinusOne) {
+  // f bases map ±1 -> ±1 exactly (they contract toward the sign).
+  for (int k = 1; k <= 3; ++k) {
+    EXPECT_NEAR(base_f(k)(1.0), 1.0, 1e-9) << "f" << k;
+    EXPECT_NEAR(base_f(k)(-1.0), -1.0, 1e-9) << "f" << k;
+  }
+}
+
+TEST(Presets, CompositesKeepCorrectSignAtModerateInputs) {
+  // The untrained composites are *approximate* (g1/g3 even dip to ~0.75 at
+  // x=1 — the source of the paper's large no-fine-tune accuracy drops), but
+  // they must classify the sign correctly away from zero.
+  for (PafForm form : all_forms()) {
+    const CompositePaf paf = make_paf(form);
+    for (double x = 0.15; x <= 1.0; x += 0.05) {
+      EXPECT_GT(paf(x), 0.4) << form_name(form) << " at " << x;
+      EXPECT_LT(paf(-x), -0.4) << form_name(form) << " at " << -x;
+      EXPECT_LT(paf(x), 1.35) << form_name(form) << " at " << x;
+    }
+  }
+}
+
+TEST(Presets, BasesAreOdd) {
+  for (int k = 1; k <= 3; ++k) {
+    EXPECT_TRUE(base_f(k).is_odd());
+    EXPECT_TRUE(base_g(k).is_odd());
+  }
+}
+
+TEST(Presets, FBasesContractTowardSign) {
+  // |f(x) - sign(x)| <= |x - sign(x)| on (0,1]: f pulls values toward +1.
+  for (int k = 1; k <= 3; ++k) {
+    for (double x : {0.1, 0.3, 0.5, 0.8}) {
+      EXPECT_LT(std::abs(base_f(k)(x) - 1.0), std::abs(x - 1.0)) << "f" << k;
+    }
+  }
+}
+
+class FormSignError : public ::testing::TestWithParam<PafForm> {};
+
+TEST_P(FormSignError, ApproximatesSignReasonably) {
+  const CompositePaf paf = make_paf(GetParam());
+  // Untrained low-degree PAFs carry up to ~34% max error at 0.15 (this is
+  // exactly why the paper needs CT + fine-tuning); all stay below 40%.
+  EXPECT_LT(paf.sign_error_max(0.15), 0.40) << form_name(GetParam());
+  EXPECT_LT(paf.sign_error_max(0.30), 0.30) << form_name(GetParam());
+  // And are odd: paf(-x) = -paf(x).
+  for (double x : {0.2, 0.5, 0.9}) EXPECT_NEAR(paf(x), -paf(-x), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllForms, FormSignError,
+                         ::testing::ValuesIn(all_forms()),
+                         [](const ::testing::TestParamInfo<PafForm>& info) {
+                           std::string n = form_name(info.param);
+                           for (auto& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return n;
+                         });
+
+TEST(Presets, HigherCostFormsApproximateBetter) {
+  const double e27 = make_paf(PafForm::ALPHA10_D27).sign_error_mse(0.1);
+  const double e14 = make_paf(PafForm::F1SQ_G1SQ).sign_error_mse(0.1);
+  const double e5 = make_paf(PafForm::F1_G2).sign_error_mse(0.1);
+  EXPECT_LT(e27, e5);
+  EXPECT_LT(e14, e5);
+}
+
+TEST(Presets, Alpha10ExceedsTenBitsOfPrecision) {
+  const CompositePaf paf = make_paf(PafForm::ALPHA10_D27);
+  // The iterative minimax construction reaches ~2^-13 for |x| >= 0.02,
+  // beyond the alpha=10 design target of 2^-10.
+  EXPECT_LT(paf.sign_error_max(0.02), std::pow(2.0, -10.0));
+  EXPECT_LT(paf.sign_error_max(0.05), std::pow(2.0, -10.0));
+}
+
+TEST(Presets, PaperTrainedCoeffsShapes) {
+  EXPECT_EQ(paper_trained_coeffs(PafForm::F1_G2).size(), 17u);
+  EXPECT_EQ(paper_trained_coeffs(PafForm::F2_G2).size(), 17u);
+  EXPECT_EQ(paper_trained_coeffs(PafForm::F2_G3).size(), 17u);
+  EXPECT_EQ(paper_trained_coeffs(PafForm::F1SQ_G1SQ).size(), 17u);
+  EXPECT_TRUE(paper_trained_coeffs(PafForm::ALPHA10_D27).empty());
+}
+
+TEST(Presets, PaperTrainedCoeffsLoadIntoForms) {
+  for (PafForm form : {PafForm::F1_G2, PafForm::F2_G2, PafForm::F2_G3, PafForm::F1SQ_G1SQ}) {
+    CompositePaf paf = make_paf(form);
+    const auto rows = paper_trained_coeffs(form);
+    for (const auto& row : rows) {
+      ASSERT_EQ(static_cast<int>(row.size()), paf.num_coeffs()) << form_name(form);
+      paf.load_coeffs(row);
+      // Trained PAFs remain odd functions (only odd slots populated).
+      for (const auto& stage : paf.stages()) EXPECT_TRUE(stage.is_odd());
+    }
+  }
+}
+
+TEST(Presets, PaperTable9SpotValues) {
+  // Table 9, layer 0: c0_1 = 2.736806631, d1_3 = -1.481475353.
+  const auto rows = paper_trained_coeffs(PafForm::F1SQ_G1SQ);
+  CompositePaf paf = make_paf(PafForm::F1SQ_G1SQ);
+  paf.load_coeffs(rows[0]);
+  EXPECT_DOUBLE_EQ(paf.stages()[0].coeff(1), 2.736806631);
+  EXPECT_DOUBLE_EQ(paf.stages()[3].coeff(3), -1.481475353);
+}
+
+TEST(Presets, PaperAlpha7MatchesTable7) {
+  const auto flat = paper_alpha7_coeffs();
+  CompositePaf paf = make_paf(PafForm::ALPHA7);
+  ASSERT_EQ(static_cast<int>(flat.size()), paf.num_coeffs());
+  paf.load_coeffs(flat);
+  EXPECT_DOUBLE_EQ(paf.stages()[0].coeff(1), 7.304451);
+  EXPECT_DOUBLE_EQ(paf.stages()[1].coeff(7), -0.331172943);
+}
+
+TEST(Presets, F2G2Layer4IsTheUntrainedCheonBase) {
+  // Table 11 row 4 equals the raw f2/g2 bases — a nice cross-check that our
+  // base coefficients match the paper's.
+  const auto rows = paper_trained_coeffs(PafForm::F2_G2);
+  CompositePaf paf = make_paf(PafForm::F2_G2);
+  const auto base = paf.flatten_coeffs();
+  const auto& row4 = rows[4];
+  for (std::size_t i = 0; i < base.size(); ++i)
+    EXPECT_NEAR(base[i], row4[i], 5e-4) << "flat index " << i;
+}
+
+TEST(Presets, DepthScheduleEndsWithTotalDepth) {
+  const CompositePaf paf = make_paf(PafForm::F1_G2);
+  const auto lines = depth_schedule(paf);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines.back().find("5"), std::string::npos);
+}
+
+}  // namespace
