@@ -57,5 +57,7 @@ int main() {
   std::printf("\none encrypted ReLU over %zu slots: %.1f ms, %d ct-mults, %d levels\n",
               rt.ctx().slot_count(), stats.wall_ms, stats.ct_mults,
               stats.levels_consumed);
+  std::printf("BSGS schedule vs pure ladder: %d vs %d ct-mults (%d saved at equal depth)\n",
+              stats.ct_mults, stats.ladder_ct_mults + 1, stats.ct_mults_saved);
   return 0;
 }

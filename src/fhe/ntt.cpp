@@ -18,7 +18,9 @@ std::size_t bit_reverse(std::size_t v, int bits) {
 }  // namespace
 
 NttTables::NttTables(std::size_t n, Modulus mod) : n_(n), mod_(mod) {
-  sp::check(n >= 4 && (n & (n - 1)) == 0, "NttTables: n must be a power of two");
+  // n = 1 and n = 2 are degenerate but valid negacyclic rings (the butterfly
+  // loops simply run zero / one stage); they matter for edge-case coverage.
+  sp::check(n >= 1 && (n & (n - 1)) == 0, "NttTables: n must be a power of two");
   log_n_ = 0;
   while ((1ULL << log_n_) < n) ++log_n_;
 

@@ -1,8 +1,10 @@
 #include "fhe/poly_eval.h"
 
+#include <algorithm>
+#include <climits>
 #include <cmath>
-#include <map>
 #include <optional>
+#include <set>
 
 #include "common/check.h"
 #include "common/timer.h"
@@ -10,14 +12,172 @@
 namespace sp::fhe {
 namespace {
 
-/// Shared state of one eval_poly call: memoized power-of-two chain + stats.
+/// Smallest t with 2^t >= v (v >= 1).
+int ceil_log2(int v) {
+  int t = 0;
+  while ((1 << t) < v) ++t;
+  return t;
+}
+
+/// Depth-optimal split of an exponent: e = a + b with a the largest power of
+/// two strictly below e (a == b == e/2 when e is itself a power of two), so
+/// x^e = x^a * x^b lands at depth ceil(log2 e).
+std::pair<int, int> split_exponent(int e) {
+  int a = 1;
+  while (a * 2 < e) a *= 2;
+  return {a, e - a};
+}
+
+/// Effective degree of sum_{k in (lo..hi]} c_k x^(k-lo): index distance to
+/// the highest nonzero coefficient (0 when the block is constant).
+int effective_degree(const approx::Polynomial& p, int lo, int hi) {
+  int degree = 0;
+  for (int k = lo + 1; k <= hi; ++k)
+    if (p.coeff(k) != 0.0) degree = k - lo;
+  return degree;
+}
+
+/// True if BSGS block j (window exponents [j*kk, j*kk + kk - 1] of the window
+/// starting at absolute coefficient `lo`) has any nonzero coefficient.
+bool block_has_nonzero(const approx::Polynomial& p, int lo, int kk, int j) {
+  for (int i = 0; i < kk; ++i)
+    if (p.coeff(lo + j * kk + i) != 0.0) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Planning: pure cost models that mirror the executors below operation for
+// operation, so the strategy choice (and the EvalStats savings report) is
+// exact rather than asymptotic.
+// ---------------------------------------------------------------------------
+
+/// Simulates PowerBasis: counts the ct-ct mults needed to extend the cached
+/// exponent set by the requested powers (same split rule as the executor).
+struct PowerSim {
+  std::set<int> have;
+  int mults = 0;
+  void need(int e) {
+    if (have.count(e)) return;
+    auto [a, b] = split_exponent(e);
+    need(a);
+    if (b != a) need(b);
+    have.insert(e);
+    ++mults;
+  }
+};
+
+/// Mirrors the ladder path of eval_window: counts joins and power builds.
+void plan_ladder(const approx::Polynomial& p, int lo, int hi, PowerSim& ps, int& joins) {
+  const int d = effective_degree(p, lo, hi);
+  if (d <= 1) return;
+  int h = 1;
+  while (h * 2 <= d) h *= 2;
+  ps.need(h);
+  const int d_b = effective_degree(p, lo + h, lo + d);
+  if (d_b > 0) {
+    plan_ladder(p, lo + h, lo + d, ps, joins);
+    ++joins;
+  }
+  plan_ladder(p, lo, lo + h - 1, ps, joins);
+}
+
+/// Plan node for a BSGS block range: whether it reduces to a scalar constant
+/// and, if not, the minimum depth (levels below the basis input) at which it
+/// can be delivered.
+struct BlockPlan {
+  bool is_const;
+  int depth;
+};
+
+/// Mirrors eval_blocks: block range [blo, bhi] of window `lo` with baby
+/// window kk.
+BlockPlan plan_blocks(const approx::Polynomial& p, int lo, int kk, int blo, int bhi,
+                      PowerSim& ps, int& joins) {
+  int d_blocks = 0;
+  for (int j = blo + 1; j <= bhi; ++j)
+    if (block_has_nonzero(p, lo, kk, j)) d_blocks = j - blo;
+
+  if (d_blocks == 0) {
+    int depth = 0;
+    bool any = false;
+    for (int i = 1; i < kk; ++i) {
+      if (p.coeff(lo + blo * kk + i) == 0.0) continue;
+      ps.need(i);
+      depth = std::max(depth, ceil_log2(i) + 1);
+      any = true;
+    }
+    if (!any) return {true, 0};
+    return {false, depth};
+  }
+
+  int t = 1;
+  while (t * 2 <= d_blocks) t *= 2;
+  const int g = kk * t;
+  ps.need(g);
+  const BlockPlan b = plan_blocks(p, lo, kk, blo + t, blo + d_blocks, ps, joins);
+  int term_depth;
+  if (b.is_const) {
+    term_depth = ceil_log2(g) + 1;
+  } else {
+    term_depth = std::max(ceil_log2(g), b.depth) + 1;
+    ++joins;
+  }
+  const BlockPlan a = plan_blocks(p, lo, kk, blo, blo + t - 1, ps, joins);
+  int depth = term_depth;
+  if (!a.is_const) depth = std::max(depth, a.depth);
+  return {false, depth};
+}
+
+PowerSim sim_from_basis(const PowerBasis& basis) {
+  PowerSim ps;
+  for (int e : basis.cached_exponents()) ps.have.insert(e);
+  return ps;
+}
+
+/// Cheapest pure-ladder cost for the window, given already-cached powers.
+int ladder_cost(const approx::Polynomial& p, int lo, int d, const PowerBasis& basis) {
+  PowerSim ps = sim_from_basis(basis);
+  int joins = 0;
+  plan_ladder(p, lo, lo + d, ps, joins);
+  return ps.mults + joins;
+}
+
+/// Picks the BSGS baby window kk for window [lo, lo+d] that fits the level
+/// `budget` with the fewest ct-ct mults, or nullopt when no BSGS plan
+/// strictly beats the pure ladder (the caller then runs the ladder node).
+std::optional<int> choose_bsgs(const approx::Polynomial& p, int lo, int d, int budget,
+                               const PowerBasis& basis) {
+  const int ladder_mults = ladder_cost(p, lo, d, basis);
+  int best_k = 0;
+  int best_mults = INT_MAX;
+  for (int kk = 2; kk <= 2 * d; kk *= 2) {
+    PowerSim ps = sim_from_basis(basis);
+    int joins = 0;
+    const BlockPlan plan = plan_blocks(p, lo, kk, 0, d / kk, ps, joins);
+    if (plan.is_const || plan.depth > budget) continue;
+    const int total = ps.mults + joins;
+    if (total < best_mults) {
+      best_mults = total;
+      best_k = kk;
+    }
+  }
+  if (best_k != 0 && best_mults < ladder_mults) return best_k;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+/// Shared state of one eval_poly call.
 struct EvalCtx {
   Evaluator* ev;
   const Encoder* encoder;
   const KSwitchKey* relin;
   const CkksContext* ctx;
   EvalStats* stats;
-  std::map<int, Ciphertext> pow2;  // x^(2^k), keyed by exponent
+  PowerBasis* basis;
+  bool use_bsgs;
 };
 
 void count_mult(EvalCtx& ec) {
@@ -26,18 +186,6 @@ void count_mult(EvalCtx& ec) {
     ++ec.stats->relins;
     ++ec.stats->rescales;
   }
-}
-
-/// x^e for e a power of two, via the squaring chain.
-const Ciphertext& power_of_two(EvalCtx& ec, int e) {
-  auto it = ec.pow2.find(e);
-  if (it != ec.pow2.end()) return it->second;
-  const Ciphertext& half = power_of_two(ec, e / 2);
-  Ciphertext sq = ec.ev->multiply(half, half);
-  ec.ev->relinearize_inplace(sq, *ec.relin);
-  ec.ev->rescale_inplace(sq);
-  count_mult(ec);
-  return ec.pow2.emplace(e, std::move(sq)).first->second;
 }
 
 /// (factor * ct) at (target_level, target_scale): one plain mult + rescale.
@@ -55,63 +203,128 @@ Ciphertext rescale_onto(EvalCtx& ec, const Ciphertext& ct, double factor,
   return out;
 }
 
-/// Effective degree of sum_{k in (lo..hi]} c_k x^(k-lo): index distance to
-/// the highest nonzero coefficient (0 when the block is constant).
-int effective_degree(const approx::Polynomial& p, int lo, int hi) {
-  int degree = 0;
-  for (int k = lo + 1; k <= hi; ++k)
-    if (p.coeff(k) != 0.0) degree = k - lo;
-  return degree;
+void fold_constant(EvalCtx& ec, Ciphertext& ct, double c) {
+  if (c == 0.0) return;
+  ec.ev->add_plain_inplace(ct, ec.encoder->encode_scalar(c, ct.scale, ct.q_count()));
 }
 
-/// Multiplication depth the block will consume: ceil(log2(degree+1)).
-int block_depth(const approx::Polynomial& p, int lo, int hi) {
-  const int d = effective_degree(p, lo, hi);
-  if (d == 0) return 0;
-  return static_cast<int>(std::ceil(std::log2(static_cast<double>(d) + 1.0)));
+/// BSGS executor: sum_{j=blo..bhi} B_j(x) x^{(j-blo)*kk} delivered at exactly
+/// (target_level, target_scale), where B_j is block j of the window at `lo`.
+/// Baby blocks combine cached powers with fused coefficient rescales (no
+/// ct-ct mults); giant steps x^(kk*t) join block ranges with one ct-ct mult
+/// per non-constant range, mirroring plan_blocks.
+std::optional<Ciphertext> eval_blocks(EvalCtx& ec, const approx::Polynomial& p, int lo,
+                                      int kk, int blo, int bhi, int target_level,
+                                      double target_scale, double* constant_out) {
+  *constant_out = 0.0;
+  int d_blocks = 0;
+  for (int j = blo + 1; j <= bhi; ++j)
+    if (block_has_nonzero(p, lo, kk, j)) d_blocks = j - blo;
+
+  if (d_blocks == 0) {
+    // Single baby block: a linear combination of cached powers x^1..x^{kk-1}.
+    *constant_out = p.coeff(lo + blo * kk);
+    std::optional<Ciphertext> acc;
+    for (int i = 1; i < kk; ++i) {
+      const double c = p.coeff(lo + blo * kk + i);
+      if (c == 0.0) continue;
+      const Ciphertext& xi = ec.basis->power(*ec.ev, i, ec.stats);
+      Ciphertext term = rescale_onto(ec, xi, c, target_level, target_scale);
+      if (acc)
+        acc = ec.ev->add(*acc, term);
+      else
+        acc = std::move(term);
+    }
+    if (acc) {
+      fold_constant(ec, *acc, *constant_out);
+      *constant_out = 0.0;
+    }
+    return acc;
+  }
+
+  int t = 1;
+  while (t * 2 <= d_blocks) t *= 2;
+  const Ciphertext& xg = ec.basis->power(*ec.ev, kk * t, ec.stats);
+
+  // term = x^(kk*t) * (blocks blo+t .. blo+d_blocks), landing at target_scale.
+  Ciphertext term;
+  {
+    const u64 q = ec.ctx->q(target_level + 1).value();
+    const double b_scale = target_scale * static_cast<double>(q) / xg.scale;
+    double b_const = 0.0;
+    std::optional<Ciphertext> b = eval_blocks(ec, p, lo, kk, blo + t, blo + d_blocks,
+                                              target_level + 1, b_scale, &b_const);
+    if (!b) {
+      term = rescale_onto(ec, xg, b_const, target_level, target_scale);
+    } else {
+      fold_constant(ec, *b, b_const);
+      Ciphertext xa = xg;
+      ec.ev->drop_to_level(xa, target_level + 1);
+      term = ec.ev->multiply(xa, *b);
+      ec.ev->relinearize_inplace(term, *ec.relin);
+      ec.ev->rescale_inplace(term);
+      term.scale = target_scale;  // = s_g * b_scale / q by construction
+      count_mult(ec);
+    }
+  }
+
+  double a_const = 0.0;
+  std::optional<Ciphertext> a =
+      eval_blocks(ec, p, lo, kk, blo, blo + t - 1, target_level, target_scale, &a_const);
+  if (a) term = ec.ev->add(term, *a);
+  fold_constant(ec, term, a_const);
+  return term;
 }
 
-/// Recursive depth-optimal evaluation of the block sum_{k=lo..hi} c_k
-/// x^(k-lo), returning a ciphertext at exactly `target_scale` (nullopt when
-/// the block is the constant *constant_out, which the caller folds in).
+/// Evaluates the window sum_{k=lo..hi} c_k x^(k-lo) at exactly
+/// (target_level, target_scale), returning nullopt (and *constant_out) when
+/// the window is a scalar constant the caller folds in.
 ///
-/// Split rule: p = A + x^h * B, h = 2^floor(log2(degree)). Coefficient
-/// multiplications are fused into the base cases, so a degree-n block
-/// consumes exactly ceil(log2(n+1)) levels — the Appendix-C schedule.
-std::optional<Ciphertext> eval_range(EvalCtx& ec, const approx::Polynomial& p, int lo,
-                                     int hi, double target_scale, double* constant_out) {
+/// Each node first asks the planner whether a BSGS decomposition fits the
+/// remaining level budget with strictly fewer ct-ct mults; otherwise it runs
+/// one step of the balanced ladder split p = A + x^h * B and recurses — so
+/// the schedule never consumes more levels or more multiplications than the
+/// pure ladder (Appendix-C) baseline.
+std::optional<Ciphertext> eval_window(EvalCtx& ec, const approx::Polynomial& p, int lo,
+                                      int hi, int target_level, double target_scale,
+                                      double* constant_out) {
   *constant_out = p.coeff(lo);
   const int d = effective_degree(p, lo, hi);
   if (d == 0) return std::nullopt;
 
-  const Ciphertext& x = ec.pow2.at(1);
-  if (d == 1)
-    return rescale_onto(ec, x, p.coeff(lo + 1), x.level() - 1, target_scale);
+  const Ciphertext& x = ec.basis->x();
+  if (d == 1) return rescale_onto(ec, x, p.coeff(lo + 1), target_level, target_scale);
+
+  if (ec.use_bsgs) {
+    const int budget = x.level() - target_level;
+    if (auto kk = choose_bsgs(p, lo, d, budget, *ec.basis)) {
+      std::optional<Ciphertext> out =
+          eval_blocks(ec, p, lo, *kk, 0, d / *kk, target_level, target_scale, constant_out);
+      sp::check(out.has_value(), "eval_poly: BSGS block range produced no ciphertext");
+      return out;
+    }
+  }
 
   int h = 1;
   while (h * 2 <= d) h *= 2;
-  const Ciphertext& xh = power_of_two(ec, h);
+  const Ciphertext& xh = ec.basis->power(*ec.ev, h, ec.stats);
 
   // --- term = x^h * B, landing at target_scale -----------------------------
   Ciphertext term;
-  const int b_lo = lo + h, b_hi = lo + d;
-  const int depth_b = block_depth(p, b_lo, b_hi);
-  if (depth_b == 0) {
-    // B is the single constant coefficient c_{lo+d} (nonzero by choice of d).
-    term = rescale_onto(ec, xh, p.coeff(b_lo), xh.level() - 1, target_scale);
+  const int d_b = effective_degree(p, lo + h, lo + d);
+  if (d_b == 0) {
+    // B is the single constant coefficient c_{lo+h} (nonzero by choice of d).
+    term = rescale_onto(ec, xh, p.coeff(lo + h), target_level, target_scale);
   } else {
-    const int level_b = x.level() - depth_b;
-    const int prod_level = std::min(xh.level(), level_b);
-    const u64 q = ec.ctx->q(prod_level).value();
+    const u64 q = ec.ctx->q(target_level + 1).value();
     const double b_scale = target_scale * static_cast<double>(q) / xh.scale;
     double b_const = 0.0;
-    std::optional<Ciphertext> b = eval_range(ec, p, b_lo, b_hi, b_scale, &b_const);
+    std::optional<Ciphertext> b =
+        eval_window(ec, p, lo + h, lo + d, target_level + 1, b_scale, &b_const);
     sp::check(b.has_value(), "eval_poly: non-constant block produced no ciphertext");
-    sp::check(b->level() == level_b, "eval_poly: B level mismatch");
-    if (b_const != 0.0)
-      ec.ev->add_plain_inplace(*b, ec.encoder->encode_scalar(b_const, b->scale, b->q_count()));
+    fold_constant(ec, *b, b_const);
     Ciphertext xa = xh;
-    ec.ev->match_levels(xa, *b);
+    ec.ev->drop_to_level(xa, target_level + 1);
     term = ec.ev->multiply(xa, *b);
     ec.ev->relinearize_inplace(term, *ec.relin);
     ec.ev->rescale_inplace(term);
@@ -119,22 +332,75 @@ std::optional<Ciphertext> eval_range(EvalCtx& ec, const approx::Polynomial& p, i
     count_mult(ec);
   }
 
-  // --- low block A at the same scale ---------------------------------------
+  // --- low block A at the same (level, scale) ------------------------------
   double a_const = 0.0;
-  std::optional<Ciphertext> a = eval_range(ec, p, lo, lo + h - 1, target_scale, &a_const);
-  if (a.has_value()) {
-    sp::check(a->level() >= term.level(), "eval_poly: A deeper than the product");
-    ec.ev->drop_to_level(*a, term.level());
-    term = ec.ev->add(term, *a);
-  }
-  if (a_const != 0.0)
-    ec.ev->add_plain_inplace(term,
-                             ec.encoder->encode_scalar(a_const, term.scale, term.q_count()));
+  std::optional<Ciphertext> a =
+      eval_window(ec, p, lo, lo + h - 1, target_level, target_scale, &a_const);
+  if (a) term = ec.ev->add(term, *a);
+  fold_constant(ec, term, a_const);
   *constant_out = 0.0;
   return term;
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// PowerBasis.
+// ---------------------------------------------------------------------------
+
+void PowerBasis::reset(const CkksContext& ctx, const KSwitchKey& relin,
+                       const Ciphertext& x) {
+  ctx_ = &ctx;
+  relin_ = &relin;
+  pow_.clear();
+  pow_.emplace(1, x);
+  mults_spent_ = 0;
+}
+
+std::vector<int> PowerBasis::cached_exponents() const {
+  std::vector<int> out;
+  out.reserve(pow_.size());
+  for (const auto& [e, ct] : pow_) out.push_back(e);
+  return out;
+}
+
+const Ciphertext& PowerBasis::power(Evaluator& ev, int e, EvalStats* stats) {
+  sp::check(initialized(), "PowerBasis: not initialized");
+  sp::check(e >= 1, "PowerBasis: exponent must be >= 1");
+  auto it = pow_.find(e);
+  if (it != pow_.end()) return it->second;
+
+  const auto [a, b] = split_exponent(e);
+  const Ciphertext& pa = power(ev, a, stats);
+  Ciphertext prod;
+  if (a == b) {
+    prod = ev.multiply(pa, pa);
+  } else {
+    // std::map references are stable across the recursive insertions.
+    const Ciphertext& pb = power(ev, b, stats);
+    Ciphertext ca = pa;
+    Ciphertext cb = pb;
+    ev.match_levels(ca, cb);
+    prod = ev.multiply(ca, cb);
+  }
+  ev.relinearize_inplace(prod, *relin_);
+  ev.rescale_inplace(prod);
+  ++mults_spent_;
+  if (stats) {
+    ++stats->ct_mults;
+    ++stats->relins;
+    ++stats->rescales;
+  }
+  return pow_.emplace(e, std::move(prod)).first->second;
+}
+
+// ---------------------------------------------------------------------------
+// PafEvaluator.
+// ---------------------------------------------------------------------------
+
+int PafEvaluator::mult_depth(const approx::Polynomial& p) {
+  return ceil_log2(effective_degree(p, 0, p.degree()) + 1);
+}
 
 Ciphertext PafEvaluator::scaled_to(Evaluator& ev, const Ciphertext& ct, double factor,
                                    int target_level, double target_scale) const {
@@ -153,41 +419,84 @@ Ciphertext PafEvaluator::scaled_to(Evaluator& ev, const Ciphertext& ct, double f
 
 Ciphertext PafEvaluator::eval_poly(Evaluator& ev, const Ciphertext& x,
                                    const approx::Polynomial& p, EvalStats* stats) const {
-  const int deg = p.degree();
-  sp::check(deg >= 1, "eval_poly: degree >= 1 required");
-  sp::check(x.level() >= static_cast<int>(std::ceil(std::log2(deg + 1.0))),
-            "eval_poly: not enough levels for this degree");
+  PowerBasis basis(*ctx_, *relin_, x);
+  return eval_poly(ev, basis, p, stats);
+}
 
-  EvalCtx ec{&ev, encoder_, relin_, ctx_, stats, {}};
-  ec.pow2.emplace(1, x);
+Ciphertext PafEvaluator::eval_poly(Evaluator& ev, PowerBasis& basis,
+                                   const approx::Polynomial& p, EvalStats* stats) const {
+  sp::check(basis.initialized(), "eval_poly: basis not initialized");
+  sp::check(p.degree() >= 1, "eval_poly: degree >= 1 required");
+  const int deg = effective_degree(p, 0, p.degree());
+  sp::check(deg >= 1, "eval_poly: polynomial reduced to a constant");
+  const Ciphertext& x = basis.x();
+  const int depth = ceil_log2(deg + 1);
+  sp::check(x.level() >= depth, "eval_poly: not enough levels for this degree");
 
+  // Ladder baseline for the savings report (already-cached powers are free
+  // under both schedules, so the comparison stays apples-to-apples on reuse).
+  const int baseline = ladder_cost(p, 0, deg, basis);
+  const int mults_before = stats ? stats->ct_mults : 0;
+
+  EvalCtx ec{&ev,  encoder_, relin_, ctx_, stats, &basis,
+             strategy_ == Strategy::BSGS};
   double constant = 0.0;
-  std::optional<Ciphertext> out = eval_range(ec, p, 0, deg, ctx_->scale(), &constant);
+  std::optional<Ciphertext> out =
+      eval_window(ec, p, 0, deg, x.level() - depth, ctx_->scale(), &constant);
   sp::check(out.has_value(), "eval_poly: polynomial reduced to a constant");
-  if (constant != 0.0)
-    ev.add_plain_inplace(*out, encoder_->encode_scalar(constant, out->scale, out->q_count()));
+  fold_constant(ec, *out, constant);
+
+  if (stats) {
+    stats->ladder_ct_mults += baseline;
+    const int saved = baseline - (stats->ct_mults - mults_before);
+    stats->ct_mults_saved += saved;
+    stats->relins_saved += saved;
+    stats->rescales_saved += saved;
+  }
   return std::move(*out);
 }
 
 Ciphertext PafEvaluator::eval_composite(Evaluator& ev, const Ciphertext& x,
                                         const approx::CompositePaf& paf,
                                         EvalStats* stats) const {
-  Ciphertext v = x;
-  for (const auto& stage : paf.stages()) v = eval_poly(ev, v, stage, stats);
+  PowerBasis basis(*ctx_, *relin_, x);
+  return eval_composite(ev, basis, paf, stats);
+}
+
+Ciphertext PafEvaluator::eval_composite(Evaluator& ev, PowerBasis& basis,
+                                        const approx::CompositePaf& paf,
+                                        EvalStats* stats) const {
+  const auto& stages = paf.stages();
+  sp::check(!stages.empty(), "eval_composite: empty PAF");
+  Ciphertext v = eval_poly(ev, basis, stages.front(), stats);
+  for (std::size_t s = 1; s < stages.size(); ++s) {
+    PowerBasis stage_basis(*ctx_, *relin_, v);
+    v = eval_poly(ev, stage_basis, stages[s], stats);
+  }
   return v;
 }
 
 Ciphertext PafEvaluator::relu(Evaluator& ev, const Ciphertext& x,
                               const approx::CompositePaf& paf, double input_scale,
-                              EvalStats* stats) const {
+                              EvalStats* stats, PowerBasis* basis_cache) const {
   sp::check(input_scale > 0, "relu: input_scale must be positive");
   sp::Timer timer;
 
-  // t = x / input_scale at scale Delta.
-  Ciphertext t = scaled_to(ev, x, 1.0 / input_scale, x.level() - 1, ctx_->scale());
-  if (stats) ++stats->plain_mults;
+  PowerBasis local;
+  PowerBasis* basis = basis_cache ? basis_cache : &local;
+  if (!basis->initialized()) {
+    // t = x / input_scale at scale Delta.
+    Ciphertext t = scaled_to(ev, x, 1.0 / input_scale, x.level() - 1, ctx_->scale());
+    if (stats) ++stats->plain_mults;
+    basis->reset(*ctx_, *relin_, t);
+  } else {
+    // Cheap sanity check on cache reuse; content equality is the caller's
+    // contract (see header).
+    sp::check(basis->x().level() == x.level() - 1,
+              "relu: basis_cache was built for a different ciphertext level");
+  }
 
-  Ciphertext p = eval_composite(ev, t, paf, stats);
+  Ciphertext p = eval_composite(ev, *basis, paf, stats);
 
   // y = (0.5 x) * (1 + p): one extra ct-ct multiplication.
   Ciphertext xh = scaled_to(ev, x, 0.5, p.level(), p.scale);
@@ -209,15 +518,23 @@ Ciphertext PafEvaluator::relu(Evaluator& ev, const Ciphertext& x,
 
 Ciphertext PafEvaluator::max(Evaluator& ev, const Ciphertext& a, const Ciphertext& b,
                              const approx::CompositePaf& paf, double input_scale,
-                             EvalStats* stats) const {
+                             EvalStats* stats, PowerBasis* basis_cache) const {
   sp::Timer timer;
   Ciphertext a2 = a, b2 = b;
   ev.match_levels(a2, b2);
   Ciphertext d = ev.sub(a2, b2);
   Ciphertext s = ev.add(a2, b2);
 
-  Ciphertext t = scaled_to(ev, d, 1.0 / input_scale, d.level() - 1, ctx_->scale());
-  Ciphertext p = eval_composite(ev, t, paf, stats);
+  PowerBasis local;
+  PowerBasis* basis = basis_cache ? basis_cache : &local;
+  if (!basis->initialized()) {
+    Ciphertext t = scaled_to(ev, d, 1.0 / input_scale, d.level() - 1, ctx_->scale());
+    basis->reset(*ctx_, *relin_, t);
+  } else {
+    sp::check(basis->x().level() == d.level() - 1,
+              "max: basis_cache was built for different ciphertext levels");
+  }
+  Ciphertext p = eval_composite(ev, *basis, paf, stats);
 
   Ciphertext dh = scaled_to(ev, d, 0.5, p.level(), p.scale);
   Ciphertext dp = ev.multiply(dh, p);

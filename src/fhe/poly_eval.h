@@ -1,5 +1,7 @@
 #pragma once
 
+#include <map>
+
 #include "approx/composite.h"
 #include "fhe/evaluator.h"
 
@@ -8,6 +10,11 @@ namespace sp::fhe {
 /// Per-evaluation statistics: the paper's latency model is
 /// "ct-ct multiplications (with relinearization + rescale) dominate", so the
 /// counters here drive both wall-clock measurement and depth verification.
+///
+/// The `ladder_*` / `*_saved` fields compare the executed schedule against
+/// the pure power-ladder baseline for the same polynomials: when the BSGS
+/// strategy runs they quantify the baby-step/giant-step savings; under the
+/// ladder strategy the savings are zero by definition.
 struct EvalStats {
   int ct_mults = 0;
   int relins = 0;
@@ -15,21 +22,84 @@ struct EvalStats {
   int plain_mults = 0;
   int levels_consumed = 0;
   double wall_ms = 0.0;
+  int ladder_ct_mults = 0;  ///< what the pure ladder schedule would have cost
+  int ct_mults_saved = 0;   ///< ladder_ct_mults - executed ct_mults
+  int relins_saved = 0;     ///< every saved ct mult also saves one relin...
+  int rescales_saved = 0;   ///< ...and one rescale
+};
+
+/// Memoized power cache for one evaluation input: x^e is built on demand via
+/// the depth-optimal balanced split (e = a + b with a the largest power of
+/// two below e), so x^e always lands at level x.level() - ceil(log2 e).
+///
+/// A basis is reusable: every eval_* call that receives the same basis
+/// (same input ciphertext) reuses the cached powers instead of recomputing
+/// x, x^2, x^4, ... — this is what makes repeated PAF-ReLU / max calls on
+/// one input, and ladder-vs-BSGS comparisons, cheap.
+class PowerBasis {
+ public:
+  PowerBasis() = default;
+  PowerBasis(const CkksContext& ctx, const KSwitchKey& relin, const Ciphertext& x) {
+    reset(ctx, relin, x);
+  }
+
+  bool initialized() const { return ctx_ != nullptr; }
+  /// Drops all cached powers and re-seeds the basis with a new input.
+  void reset(const CkksContext& ctx, const KSwitchKey& relin, const Ciphertext& x);
+
+  /// The basis input x (= power(1)).
+  const Ciphertext& x() const { return pow_.at(1); }
+
+  /// x^e (e >= 1), computing and caching any missing intermediate powers.
+  const Ciphertext& power(Evaluator& ev, int e, EvalStats* stats = nullptr);
+
+  bool has(int e) const { return pow_.count(e) != 0; }
+  /// Exponents currently cached (always includes 1). Used by the evaluation
+  /// planner so already-paid-for powers count as free.
+  std::vector<int> cached_exponents() const;
+  /// Total ct-ct multiplications spent building this basis so far.
+  int mults_spent() const { return mults_spent_; }
+
+ private:
+  const CkksContext* ctx_ = nullptr;
+  const KSwitchKey* relin_ = nullptr;
+  std::map<int, Ciphertext> pow_;
+  int mults_spent_ = 0;
 };
 
 /// Evaluates polynomials / composite PAFs on ciphertexts.
 ///
-/// Powers are produced with a balanced double-and-add ladder so a degree-n
-/// stage consumes exactly ceil(log2(n+1)) levels (Appendix C of the paper);
-/// term combination encodes each coefficient at the scale that lands every
-/// term on one common (level, scale) pair, so additions are exact.
+/// Two schedules are available behind `Strategy`:
+///  - `Ladder`: the balanced double-and-add ladder; a degree-n stage consumes
+///    exactly ceil(log2(n+1)) levels (Appendix C of the paper) and O(n)
+///    ct-ct multiplications.
+///  - `BSGS`: budget-aware baby-step/giant-step. Each subtree of the ladder
+///    recursion is replaced by a k-block Paterson-Stockmeyer decomposition
+///    (baby powers x..x^{k-1}, giant steps x^k, x^2k, ...) whenever the plan
+///    fits the ladder's level budget with strictly fewer ct-ct mults, so it
+///    consumes the same number of levels and never more multiplications —
+///    O(sqrt n) on the depth-slack portions that dominate for degree >= 8.
+///
+/// Either way, term combination encodes each coefficient at the scale that
+/// lands every term on one common (level, scale) pair, so additions are
+/// exact.
 class PafEvaluator {
  public:
-  PafEvaluator(const CkksContext& ctx, const Encoder& encoder, const KSwitchKey& relin_key)
-      : ctx_(&ctx), encoder_(&encoder), relin_(&relin_key) {}
+  enum class Strategy { Ladder, BSGS };
+
+  PafEvaluator(const CkksContext& ctx, const Encoder& encoder, const KSwitchKey& relin_key,
+               Strategy strategy = Strategy::BSGS)
+      : ctx_(&ctx), encoder_(&encoder), relin_(&relin_key), strategy_(strategy) {}
+
+  Strategy strategy() const { return strategy_; }
+  void set_strategy(Strategy s) { strategy_ = s; }
 
   /// p(x) for a general dense polynomial (degree >= 1).
   Ciphertext eval_poly(Evaluator& ev, const Ciphertext& x, const approx::Polynomial& p,
+                       EvalStats* stats = nullptr) const;
+
+  /// Same, reusing (and extending) a caller-held power basis for x.
+  Ciphertext eval_poly(Evaluator& ev, PowerBasis& basis, const approx::Polynomial& p,
                        EvalStats* stats = nullptr) const;
 
   /// Composite PAF evaluation, stage by stage.
@@ -37,15 +107,34 @@ class PafEvaluator {
                             const approx::CompositePaf& paf,
                             EvalStats* stats = nullptr) const;
 
+  /// Same, reusing a caller-held basis for the first stage's input (later
+  /// stages consume fresh intermediate ciphertexts and build their own).
+  Ciphertext eval_composite(Evaluator& ev, PowerBasis& basis,
+                            const approx::CompositePaf& paf,
+                            EvalStats* stats = nullptr) const;
+
   /// relu(x) ≈ 0.5 x (1 + paf(x / input_scale)) — the Static-Scaling
   /// deployment form (paper §4.5): `input_scale` is the frozen running max.
+  ///
+  /// `basis_cache`, when given, carries the scaled input's power basis for
+  /// the *first stage* across repeated calls (x, x^2, x^4, ... built once;
+  /// later stages consume fresh intermediates and still rebuild theirs).
+  /// Contract: an initialized cache must come from a previous call with the
+  /// SAME ciphertext and input_scale — the scaled input is not recomputed on
+  /// reuse, so a mismatched cache silently evaluates the wrong input. A
+  /// level mismatch is caught, content mismatches are the caller's duty.
   Ciphertext relu(Evaluator& ev, const Ciphertext& x, const approx::CompositePaf& paf,
-                  double input_scale, EvalStats* stats = nullptr) const;
+                  double input_scale, EvalStats* stats = nullptr,
+                  PowerBasis* basis_cache = nullptr) const;
 
   /// max(a,b) ≈ 0.5 (a + b) + 0.5 (a-b) paf((a-b)/input_scale).
   Ciphertext max(Evaluator& ev, const Ciphertext& a, const Ciphertext& b,
                  const approx::CompositePaf& paf, double input_scale,
-                 EvalStats* stats = nullptr) const;
+                 EvalStats* stats = nullptr, PowerBasis* basis_cache = nullptr) const;
+
+  /// Multiplication depth eval_poly consumes for `p` (both strategies consume
+  /// exactly the ladder bound ceil(log2(deg+1))).
+  static int mult_depth(const approx::Polynomial& p);
 
  private:
   /// (factor * ct) moved to `target_level` with scale exactly `target_scale`
@@ -56,6 +145,7 @@ class PafEvaluator {
   const CkksContext* ctx_;
   const Encoder* encoder_;
   const KSwitchKey* relin_;
+  Strategy strategy_;
 };
 
 }  // namespace sp::fhe

@@ -41,9 +41,10 @@ class FheRuntime {
 
 /// Result of measuring one PAF-ReLU evaluation under CKKS.
 struct PafLatencyResult {
-  double ms_median = 0.0;       ///< wall-clock per PAF-ReLU over all slots
+  double ms_median = 0.0;       ///< cold wall-clock per PAF-ReLU over all slots
   double ms_best = 0.0;
-  fhe::EvalStats stats;         ///< op counts and levels consumed
+  double ms_warm_cached = 0.0;  ///< repeat on the same input with a shared PowerBasis
+  fhe::EvalStats stats;         ///< op counts and levels consumed (cold path)
   double max_error = 0.0;       ///< vs the plaintext PAF-ReLU reference
 };
 

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "smartpaf/fhe_deploy.h"
+
+namespace {
+
+using namespace sp;
+using namespace sp::fhe;
+
+/// 2^-20: the parity budget between homomorphic evaluation (either strategy)
+/// and the plaintext Horner reference, as max-abs error relative to
+/// max(1, ||reference||_inf).
+const double kParityTol = std::ldexp(1.0, -20);
+
+/// Shared CKKS runtime: N = 4096 with depth 6 at Delta = 2^40, enough for
+/// degree-31 polynomials (depth 5) with precision far below 2^-20.
+class PolyEvalTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rt_ = std::make_unique<smartpaf::FheRuntime>(CkksParams::for_depth(4096, 6, 40),
+                                                 /*seed=*/2025);
+  }
+  static void TearDownTestSuite() { rt_.reset(); }
+
+  /// Dense random polynomial with coefficients ~1/(degree+1) so values on
+  /// [-1, 1] stay O(1); the leading coefficient is kept solidly nonzero.
+  static approx::Polynomial random_poly(int degree, std::uint64_t seed) {
+    sp::Rng rng(seed);
+    std::vector<double> c(static_cast<std::size_t>(degree) + 1);
+    for (auto& v : c) v = rng.uniform(-1.0, 1.0) / (degree + 1);
+    if (std::abs(c.back()) < 1e-3) c.back() = 0.25 / (degree + 1);
+    return approx::Polynomial(c);
+  }
+
+  /// Random odd polynomial (every PAF stage in the paper is odd).
+  static approx::Polynomial random_odd_poly(int degree, std::uint64_t seed) {
+    sp::Rng rng(seed);
+    std::vector<double> c(static_cast<std::size_t>(degree) + 1, 0.0);
+    for (int k = 1; k <= degree; k += 2)
+      c[static_cast<std::size_t>(k)] = rng.uniform(-1.0, 1.0) / (degree + 1);
+    if (std::abs(c.back()) < 1e-3) c.back() = 0.25 / (degree + 1);
+    return approx::Polynomial(c);
+  }
+
+  static std::vector<double> random_inputs(std::uint64_t seed) {
+    sp::Rng rng(seed);
+    std::vector<double> v(rt_->ctx().slot_count());
+    for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+    return v;
+  }
+
+  struct Run {
+    std::vector<double> values;
+    EvalStats stats;
+    int levels = 0;
+  };
+
+  static Run eval_with(PafEvaluator::Strategy strategy, const approx::Polynomial& p,
+                       const Ciphertext& ct) {
+    PafEvaluator pe(rt_->ctx(), rt_->encoder(), rt_->relin_key(), strategy);
+    Run r;
+    const Ciphertext out = pe.eval_poly(rt_->evaluator(), ct, p, &r.stats);
+    r.levels = ct.level() - out.level();
+    r.values = rt_->decrypt(out);
+    return r;
+  }
+
+  /// max |got - p(v)| / max(1, ||p(v)||_inf).
+  static double relative_error(const std::vector<double>& got,
+                               const std::vector<double>& inputs,
+                               const approx::Polynomial& p) {
+    double worst = 0.0, norm = 1.0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const double ref = p(inputs[i]);
+      norm = std::max(norm, std::abs(ref));
+      worst = std::max(worst, std::abs(got[i] - ref));
+    }
+    return worst / norm;
+  }
+
+  static std::unique_ptr<smartpaf::FheRuntime> rt_;
+};
+
+std::unique_ptr<smartpaf::FheRuntime> PolyEvalTest::rt_;
+
+/// Parity + cost sweep over dense random polynomials of every degree 3..31.
+class DensePolyDegree : public PolyEvalTest, public ::testing::WithParamInterface<int> {};
+
+TEST_P(DensePolyDegree, BsgsAndLadderAgreeWithHorner) {
+  const int degree = GetParam();
+  const approx::Polynomial p = random_poly(degree, 1000 + static_cast<std::uint64_t>(degree));
+  const auto inputs = random_inputs(77);
+  const Ciphertext ct = rt_->encrypt(inputs);
+
+  const Run ladder = eval_with(PafEvaluator::Strategy::Ladder, p, ct);
+  const Run bsgs = eval_with(PafEvaluator::Strategy::BSGS, p, ct);
+
+  // Both strategies reproduce the plaintext Horner evaluation to < 2^-20.
+  EXPECT_LT(relative_error(ladder.values, inputs, p), kParityTol) << "degree " << degree;
+  EXPECT_LT(relative_error(bsgs.values, inputs, p), kParityTol) << "degree " << degree;
+
+  // BSGS consumes exactly the same levels as the ladder bound...
+  EXPECT_EQ(ladder.levels, static_cast<int>(std::ceil(std::log2(degree + 1.0))));
+  EXPECT_EQ(bsgs.levels, ladder.levels);
+
+  // ...and never more ct-ct mults. Strictly fewer from degree 8 up: degree 7
+  // is the one depth wall (7 + 1 = 2^3 leaves zero level slack, and any
+  // depth-3 schedule for a dense degree-7 polynomial needs the full ladder's
+  // 5 multiplications), so there BSGS falls back to the identical schedule.
+  EXPECT_LE(bsgs.stats.ct_mults, ladder.stats.ct_mults) << "degree " << degree;
+  if (degree >= 8) {
+    EXPECT_LT(bsgs.stats.ct_mults, ladder.stats.ct_mults) << "degree " << degree;
+  }
+
+  // Savings bookkeeping: the planner's ladder baseline must equal the
+  // measured ladder cost (plan and execution mirror each other exactly).
+  EXPECT_EQ(ladder.stats.ladder_ct_mults, ladder.stats.ct_mults);
+  EXPECT_EQ(ladder.stats.ct_mults_saved, 0);
+  EXPECT_EQ(bsgs.stats.ladder_ct_mults, ladder.stats.ct_mults);
+  EXPECT_EQ(bsgs.stats.ct_mults_saved, ladder.stats.ct_mults - bsgs.stats.ct_mults);
+  EXPECT_EQ(bsgs.stats.relins_saved, bsgs.stats.ct_mults_saved);
+  EXPECT_EQ(bsgs.stats.rescales_saved, bsgs.stats.ct_mults_saved);
+  EXPECT_EQ(bsgs.stats.ct_mults, bsgs.stats.relins);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, DensePolyDegree,
+                         ::testing::Values(3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                                           16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26,
+                                           27, 28, 29, 30, 31));
+
+/// The paper's PAF stages are odd; the sweep repeats on odd polynomials.
+class OddPolyDegree : public PolyEvalTest, public ::testing::WithParamInterface<int> {};
+
+TEST_P(OddPolyDegree, BsgsAndLadderAgreeWithHorner) {
+  const int degree = GetParam();
+  const approx::Polynomial p = random_odd_poly(degree, 500 + static_cast<std::uint64_t>(degree));
+  const auto inputs = random_inputs(91);
+  const Ciphertext ct = rt_->encrypt(inputs);
+
+  const Run ladder = eval_with(PafEvaluator::Strategy::Ladder, p, ct);
+  const Run bsgs = eval_with(PafEvaluator::Strategy::BSGS, p, ct);
+
+  EXPECT_LT(relative_error(ladder.values, inputs, p), kParityTol) << "degree " << degree;
+  EXPECT_LT(relative_error(bsgs.values, inputs, p), kParityTol) << "degree " << degree;
+  EXPECT_EQ(bsgs.levels, ladder.levels);
+  EXPECT_LE(bsgs.stats.ct_mults, ladder.stats.ct_mults) << "degree " << degree;
+  if (degree >= 9) {
+    EXPECT_LT(bsgs.stats.ct_mults, ladder.stats.ct_mults) << "degree " << degree;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, OddPolyDegree,
+                         ::testing::Values(7, 9, 11, 13, 15, 21, 27, 31));
+
+TEST_F(PolyEvalTest, PowerBasisIsDepthOptimalAndMemoized) {
+  const auto inputs = random_inputs(5);
+  const Ciphertext ct = rt_->encrypt(inputs);
+  PowerBasis basis(rt_->ctx(), rt_->relin_key(), ct);
+  for (int e = 1; e <= 16; ++e) {
+    const Ciphertext& xe = basis.power(rt_->evaluator(), e);
+    EXPECT_EQ(ct.level() - xe.level(),
+              static_cast<int>(std::ceil(std::log2(static_cast<double>(e)))))
+        << "x^" << e;
+  }
+  // All of x^1..x^16 takes exactly 15 multiplications (one per new power)...
+  EXPECT_EQ(basis.mults_spent(), 15);
+  // ...and re-requesting any of them is free.
+  basis.power(rt_->evaluator(), 16);
+  basis.power(rt_->evaluator(), 7);
+  EXPECT_EQ(basis.mults_spent(), 15);
+}
+
+TEST_F(PolyEvalTest, SharedBasisMakesRepeatEvaluationCheaper) {
+  const approx::Polynomial p = random_poly(13, 42);
+  const auto inputs = random_inputs(6);
+  const Ciphertext ct = rt_->encrypt(inputs);
+  PafEvaluator pe(rt_->ctx(), rt_->encoder(), rt_->relin_key(),
+                  PafEvaluator::Strategy::BSGS);
+
+  PowerBasis basis(rt_->ctx(), rt_->relin_key(), ct);
+  EvalStats first, second;
+  const Ciphertext out1 = pe.eval_poly(rt_->evaluator(), basis, p, &first);
+  const Ciphertext out2 = pe.eval_poly(rt_->evaluator(), basis, p, &second);
+  EXPECT_LT(second.ct_mults, first.ct_mults);
+
+  // Same schedule, same powers: the two results agree bit-for-bit closely.
+  const auto a = rt_->decrypt(out1);
+  const auto b = rt_->decrypt(out2);
+  for (std::size_t i = 0; i < a.size(); i += 61) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+TEST_F(PolyEvalTest, ReluBasisCacheSkipsPowerRebuild) {
+  // Single odd degree-7 stage: depth 3 + 2 relu levels fits the depth-6 chain.
+  const approx::CompositePaf paf("deg7", {random_odd_poly(7, 21)});
+  const auto inputs = random_inputs(8);
+  const Ciphertext ct = rt_->encrypt(inputs);
+  const PafEvaluator& pe = rt_->paf_evaluator();
+
+  PowerBasis cache;
+  EvalStats first, second;
+  pe.relu(rt_->evaluator(), ct, paf, 2.0, &first, &cache);
+  pe.relu(rt_->evaluator(), ct, paf, 2.0, &second, &cache);
+  // The cached pass reuses the scaled input's powers for the first stage.
+  EXPECT_LT(second.ct_mults, first.ct_mults);
+  EXPECT_LT(second.plain_mults, first.plain_mults);
+}
+
+TEST_F(PolyEvalTest, StrategySwitchIsPerEvaluator) {
+  PafEvaluator pe(rt_->ctx(), rt_->encoder(), rt_->relin_key());
+  EXPECT_TRUE(pe.strategy() == PafEvaluator::Strategy::BSGS);
+  pe.set_strategy(PafEvaluator::Strategy::Ladder);
+  EXPECT_TRUE(pe.strategy() == PafEvaluator::Strategy::Ladder);
+}
+
+TEST_F(PolyEvalTest, MultDepthHelperMatchesLadderBound) {
+  EXPECT_EQ(PafEvaluator::mult_depth(approx::Polynomial({0.0, 1.0})), 1);
+  EXPECT_EQ(PafEvaluator::mult_depth(random_poly(7, 1)), 3);
+  EXPECT_EQ(PafEvaluator::mult_depth(random_poly(8, 2)), 4);
+  EXPECT_EQ(PafEvaluator::mult_depth(random_poly(31, 3)), 5);
+  // Trailing structural zeros do not count toward depth.
+  EXPECT_EQ(PafEvaluator::mult_depth(approx::Polynomial({0.0, 1.0, 0.5, 0.0, 0.0})), 2);
+}
+
+}  // namespace

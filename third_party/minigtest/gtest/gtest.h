@@ -1,0 +1,478 @@
+#pragma once
+
+// minigtest: a single-header, GoogleTest-source-compatible shim covering the
+// subset of the gtest API this repository's test suites use. It exists so the
+// CTest suites still build and run in offline containers where neither a
+// system GoogleTest nor FetchContent is available. Resolution order is
+// system gtest -> FetchContent -> this shim (see the top-level CMakeLists).
+//
+// Supported surface: TEST / TEST_F / TEST_P, fixtures with SetUp/TearDown and
+// static SetUpTestSuite/TearDownTestSuite, TestWithParam / WithParamInterface
+// with INSTANTIATE_TEST_SUITE_P over Values/ValuesIn (optional name
+// generator), the EXPECT_/ASSERT_ comparison, boolean, floating-point and
+// exception macros with message streaming, InitGoogleTest and RUN_ALL_TESTS.
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+class Message {
+ public:
+  template <typename T>
+  Message& operator<<(const T& value) {
+    ss_ << value;
+    return *this;
+  }
+  std::string str() const { return ss_.str(); }
+
+ private:
+  std::ostringstream ss_;
+};
+
+namespace internal {
+
+struct TestState {
+  int run = 0;
+  int failed_tests = 0;
+  bool current_failed = false;
+};
+inline TestState& state() {
+  static TestState s;
+  return s;
+}
+
+inline void record_failure(const char* file, int line, const std::string& summary,
+                           const std::string& user_message) {
+  std::fprintf(stderr, "%s:%d: Failure\n%s\n", file, line, summary.c_str());
+  if (!user_message.empty()) std::fprintf(stderr, "%s\n", user_message.c_str());
+  state().current_failed = true;
+}
+
+/// Terminal object of every failing assertion: streamed user messages are
+/// collected by Message and flushed when the AssertHelper is assigned.
+class AssertHelper {
+ public:
+  AssertHelper(const char* file, int line, std::string summary)
+      : file_(file), line_(line), summary_(std::move(summary)) {}
+  void operator=(const Message& message) const {
+    record_failure(file_, line_, summary_, message.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::string summary_;
+};
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T>
+std::string print_value(const T& v) {
+  if constexpr (IsStreamable<T>::value) {
+    std::ostringstream ss;
+    ss << v;
+    return ss.str();
+  } else {
+    return "(unprintable value)";
+  }
+}
+
+template <typename A, typename B>
+std::string cmp_failure(const char* e1, const char* e2, const A& a, const B& b,
+                        const char* op) {
+  std::ostringstream ss;
+  ss << "Expected: (" << e1 << ") " << op << " (" << e2 << "), actual: "
+     << print_value(a) << " vs " << print_value(b);
+  return ss.str();
+}
+
+// C++17 has no std::cmp_equal; widen by signedness so literal-vs-unsigned
+// equality checks neither warn nor wrap (mirrors gtest's EqHelper).
+template <typename A, typename B>
+bool int_eq(A a, B b) {
+  if constexpr (std::is_signed_v<A> == std::is_signed_v<B>) {
+    return a == b;
+  } else if constexpr (std::is_signed_v<A>) {
+    return a >= 0 && static_cast<std::make_unsigned_t<A>>(a) == b;
+  } else {
+    return b >= 0 && a == static_cast<std::make_unsigned_t<B>>(b);
+  }
+}
+
+template <typename A, typename B>
+bool values_equal(const A& a, const B& b) {
+  if constexpr (std::is_integral_v<A> && std::is_integral_v<B> &&
+                !std::is_same_v<A, bool> && !std::is_same_v<B, bool>) {
+    return int_eq(a, b);
+  } else {
+    return a == b;
+  }
+}
+
+template <typename T>
+bool almost_equal(T a, T b) {
+  if (a == b) return true;
+  const T diff = std::fabs(a - b);
+  const T norm = std::max(std::fabs(a), std::fabs(b));
+  // ~4 ULPs, the gtest default tolerance.
+  return diff <= norm * std::numeric_limits<T>::epsilon() * 4;
+}
+
+}  // namespace internal
+
+class Test {
+ public:
+  virtual ~Test() = default;
+  static void SetUpTestSuite() {}
+  static void TearDownTestSuite() {}
+  void Run() {
+    SetUp();
+    TestBody();
+    TearDown();
+  }
+
+ protected:
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+  virtual void TestBody() = 0;
+};
+
+template <typename T>
+struct TestParamInfo {
+  TestParamInfo(const T& p, std::size_t i) : param(p), index(i) {}
+  T param;
+  std::size_t index;
+};
+
+template <typename T>
+class WithParamInterface {
+ public:
+  using ParamType = T;
+  virtual ~WithParamInterface() = default;
+  static const T& GetParam() { return *current_param(); }
+  static const T*& current_param() {
+    static const T* p = nullptr;
+    return p;
+  }
+};
+
+template <typename T>
+class TestWithParam : public Test, public WithParamInterface<T> {};
+
+namespace internal {
+
+struct RegisteredTest {
+  std::string suite;
+  std::string name;
+  std::function<Test*()> factory;
+  void (*suite_setup)();
+  void (*suite_teardown)();
+};
+
+inline std::vector<RegisteredTest>& registry() {
+  static std::vector<RegisteredTest> tests;
+  return tests;
+}
+
+/// Deferred expanders: parameterized suites expand their (pattern x
+/// instantiation) cross product into registry() right before the run, so the
+/// relative order of TEST_P and INSTANTIATE_TEST_SUITE_P does not matter.
+inline std::vector<std::function<void()>>& param_expanders() {
+  static std::vector<std::function<void()>> v;
+  return v;
+}
+
+/// Derives from the fixture so protected SetUpTestSuite/TearDownTestSuite
+/// statics are reachable (mirrors gtest's SuiteApiResolver).
+template <typename Fixture>
+struct SuiteApiResolver : Fixture {
+  static void DoSetUpTestSuite() { Fixture::SetUpTestSuite(); }
+  static void DoTearDownTestSuite() { Fixture::TearDownTestSuite(); }
+};
+
+template <typename Fixture>
+bool register_test(const char* suite, const char* name) {
+  registry().push_back({suite, name, [] { return new Fixture; },
+                        &SuiteApiResolver<Fixture>::DoSetUpTestSuite,
+                        &SuiteApiResolver<Fixture>::DoTearDownTestSuite});
+  return true;
+}
+
+template <typename ParamType>
+struct ParamSuiteRegistry {
+  struct Pattern {
+    std::string name;
+    std::function<Test*()> factory;
+    void (*suite_setup)();
+    void (*suite_teardown)();
+  };
+  struct Instantiation {
+    std::string prefix;
+    std::vector<ParamType> values;
+    std::function<std::string(const TestParamInfo<ParamType>&)> namer;
+  };
+  std::vector<Pattern> patterns;
+  std::vector<Instantiation> instantiations;
+  bool expander_registered = false;
+
+  static ParamSuiteRegistry& for_suite(const std::string& suite) {
+    static std::map<std::string, ParamSuiteRegistry> suites;
+    return suites[suite];
+  }
+
+  static void ensure_expander(const std::string& suite) {
+    ParamSuiteRegistry& self = for_suite(suite);
+    if (self.expander_registered) return;
+    self.expander_registered = true;
+    param_expanders().push_back([suite] {
+      ParamSuiteRegistry& reg = for_suite(suite);
+      for (const Instantiation& inst : reg.instantiations) {
+        // Stable storage for the params the factories point at.
+        auto values = std::make_shared<std::vector<ParamType>>(inst.values);
+        for (std::size_t i = 0; i < values->size(); ++i) {
+          std::string label = inst.namer
+                                  ? inst.namer(TestParamInfo<ParamType>((*values)[i], i))
+                                  : std::to_string(i);
+          for (const Pattern& pat : reg.patterns) {
+            const ParamType* param = &(*values)[i];
+            auto factory = pat.factory;
+            registry().push_back(
+                {inst.prefix + "/" + suite, pat.name + "/" + label,
+                 [factory, param, values] {
+                   WithParamInterface<ParamType>::current_param() = param;
+                   return factory();
+                 },
+                 pat.suite_setup, pat.suite_teardown});
+          }
+        }
+      }
+    });
+  }
+};
+
+template <typename Fixture>
+bool register_test_p(const char* suite, const char* name) {
+  using ParamType = typename Fixture::ParamType;
+  auto& reg = ParamSuiteRegistry<ParamType>::for_suite(suite);
+  reg.patterns.push_back({name, [] { return new Fixture; },
+                          &SuiteApiResolver<Fixture>::DoSetUpTestSuite,
+                          &SuiteApiResolver<Fixture>::DoTearDownTestSuite});
+  ParamSuiteRegistry<ParamType>::ensure_expander(suite);
+  return true;
+}
+
+template <typename... Args>
+struct ValueList {
+  std::tuple<Args...> values;
+  template <typename T>
+  std::vector<T> materialize() const {
+    std::vector<T> out;
+    std::apply([&out](const Args&... a) { (out.push_back(static_cast<T>(a)), ...); },
+               values);
+    return out;
+  }
+};
+
+template <typename T>
+struct ContainerValues {
+  std::vector<T> stored;
+  template <typename U>
+  std::vector<U> materialize() const {
+    return std::vector<U>(stored.begin(), stored.end());
+  }
+};
+
+template <typename Suite, typename Generator>
+bool add_instantiation(
+    const char* prefix, const char* suite, const Generator& gen,
+    std::function<std::string(const TestParamInfo<typename Suite::ParamType>&)>
+        namer = nullptr) {
+  using ParamType = typename Suite::ParamType;
+  auto& reg = ParamSuiteRegistry<ParamType>::for_suite(suite);
+  reg.instantiations.push_back(
+      {prefix, gen.template materialize<ParamType>(), std::move(namer)});
+  ParamSuiteRegistry<ParamType>::ensure_expander(suite);
+  return true;
+}
+
+inline int run_all_tests() {
+  for (auto& expand : param_expanders()) expand();
+  param_expanders().clear();
+
+  // Group by suite in first-seen order so each suite's static
+  // SetUpTestSuite/TearDownTestSuite runs exactly once around its tests.
+  std::vector<std::string> suite_order;
+  std::map<std::string, std::vector<const RegisteredTest*>> by_suite;
+  for (const RegisteredTest& t : registry()) {
+    if (by_suite.find(t.suite) == by_suite.end()) suite_order.push_back(t.suite);
+    by_suite[t.suite].push_back(&t);
+  }
+
+  TestState& st = state();
+  for (const std::string& suite : suite_order) {
+    const auto& tests = by_suite[suite];
+    tests.front()->suite_setup();
+    for (const RegisteredTest* t : tests) {
+      st.current_failed = false;
+      ++st.run;
+      std::fprintf(stderr, "[ RUN      ] %s.%s\n", t->suite.c_str(), t->name.c_str());
+      std::unique_ptr<Test> instance(t->factory());
+      instance->Run();
+      if (st.current_failed) {
+        ++st.failed_tests;
+        std::fprintf(stderr, "[  FAILED  ] %s.%s\n", t->suite.c_str(), t->name.c_str());
+      } else {
+        std::fprintf(stderr, "[       OK ] %s.%s\n", t->suite.c_str(), t->name.c_str());
+      }
+    }
+    tests.front()->suite_teardown();
+  }
+  std::fprintf(stderr, "[==========] %d tests ran, %d failed.\n", st.run,
+               st.failed_tests);
+  return st.failed_tests == 0 ? 0 : 1;
+}
+
+}  // namespace internal
+
+template <typename... Args>
+internal::ValueList<Args...> Values(Args... args) {
+  return {std::make_tuple(args...)};
+}
+
+template <typename Container>
+auto ValuesIn(const Container& c) {
+  using T = typename Container::value_type;
+  return internal::ContainerValues<T>{std::vector<T>(std::begin(c), std::end(c))};
+}
+
+inline void InitGoogleTest(int* = nullptr, char** = nullptr) {}
+
+}  // namespace testing
+
+inline int RUN_ALL_TESTS() { return ::testing::internal::run_all_tests(); }
+
+// ---------------------------------------------------------------------------
+// Test declaration macros.
+// ---------------------------------------------------------------------------
+
+#define MG_CLASS_NAME_(suite, name) suite##_##name##_MgTest
+
+#define MG_TEST_(suite, name, base, register_fn)                           \
+  class MG_CLASS_NAME_(suite, name) : public base {                        \
+    void TestBody() override;                                              \
+  };                                                                       \
+  static const bool mg_registered_##suite##_##name =                       \
+      ::testing::internal::register_fn<MG_CLASS_NAME_(suite, name)>(#suite, \
+                                                                    #name); \
+  void MG_CLASS_NAME_(suite, name)::TestBody()
+
+#define TEST(suite, name) MG_TEST_(suite, name, ::testing::Test, register_test)
+#define TEST_F(fixture, name) MG_TEST_(fixture, name, fixture, register_test)
+#define TEST_P(fixture, name) MG_TEST_(fixture, name, fixture, register_test_p)
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, suite, ...)                     \
+  static const bool mg_instantiated_##prefix##_##suite =                 \
+      ::testing::internal::add_instantiation<suite>(#prefix, #suite, __VA_ARGS__)
+
+// ---------------------------------------------------------------------------
+// Assertion macros. Each expands to an if/else so a trailing `<< message`
+// binds to the failure object; ASSERT_ variants return out of the test body.
+// ---------------------------------------------------------------------------
+
+#define MG_MESSAGE_(summary) \
+  ::testing::internal::AssertHelper(__FILE__, __LINE__, summary) = ::testing::Message()
+
+#define MG_CHECK_(condition, summary) \
+  if (condition)                      \
+    ;                                 \
+  else                                \
+    MG_MESSAGE_(summary)
+
+#define MG_CHECK_FATAL_(condition, summary) \
+  if (condition)                            \
+    ;                                       \
+  else                                      \
+    return MG_MESSAGE_(summary)
+
+#define MG_CMP_(a, b, op, check)                                             \
+  check((a)op(b), ::testing::internal::cmp_failure(#a, #b, (a), (b), #op))
+
+#define EXPECT_TRUE(c) MG_CHECK_((c), "Expected " #c " to be true")
+#define EXPECT_FALSE(c) MG_CHECK_(!(c), "Expected " #c " to be false")
+#define ASSERT_TRUE(c) MG_CHECK_FATAL_((c), "Expected " #c " to be true")
+#define ASSERT_FALSE(c) MG_CHECK_FATAL_(!(c), "Expected " #c " to be false")
+
+#define EXPECT_EQ(a, b)                                           \
+  MG_CHECK_(::testing::internal::values_equal((a), (b)),          \
+            ::testing::internal::cmp_failure(#a, #b, (a), (b), "=="))
+#define ASSERT_EQ(a, b)                                           \
+  MG_CHECK_FATAL_(::testing::internal::values_equal((a), (b)),    \
+                  ::testing::internal::cmp_failure(#a, #b, (a), (b), "=="))
+#define EXPECT_NE(a, b)                                           \
+  MG_CHECK_(!::testing::internal::values_equal((a), (b)),         \
+            ::testing::internal::cmp_failure(#a, #b, (a), (b), "!="))
+#define ASSERT_NE(a, b)                                           \
+  MG_CHECK_FATAL_(!::testing::internal::values_equal((a), (b)),   \
+                  ::testing::internal::cmp_failure(#a, #b, (a), (b), "!="))
+
+#define EXPECT_LT(a, b) MG_CMP_(a, b, <, MG_CHECK_)
+#define EXPECT_LE(a, b) MG_CMP_(a, b, <=, MG_CHECK_)
+#define EXPECT_GT(a, b) MG_CMP_(a, b, >, MG_CHECK_)
+#define EXPECT_GE(a, b) MG_CMP_(a, b, >=, MG_CHECK_)
+#define ASSERT_LT(a, b) MG_CMP_(a, b, <, MG_CHECK_FATAL_)
+#define ASSERT_LE(a, b) MG_CMP_(a, b, <=, MG_CHECK_FATAL_)
+#define ASSERT_GT(a, b) MG_CMP_(a, b, >, MG_CHECK_FATAL_)
+#define ASSERT_GE(a, b) MG_CMP_(a, b, >=, MG_CHECK_FATAL_)
+
+#define EXPECT_NEAR(a, b, tol)                                        \
+  MG_CHECK_(std::fabs((a) - (b)) <= (tol),                            \
+            ::testing::internal::cmp_failure(#a, #b, (a), (b), "~="))
+#define ASSERT_NEAR(a, b, tol)                                        \
+  MG_CHECK_FATAL_(std::fabs((a) - (b)) <= (tol),                      \
+                  ::testing::internal::cmp_failure(#a, #b, (a), (b), "~="))
+
+#define EXPECT_DOUBLE_EQ(a, b)                                             \
+  MG_CHECK_(::testing::internal::almost_equal<double>((a), (b)),           \
+            ::testing::internal::cmp_failure(#a, #b, (a), (b), "=="))
+#define EXPECT_FLOAT_EQ(a, b)                                              \
+  MG_CHECK_(::testing::internal::almost_equal<float>((a), (b)),            \
+            ::testing::internal::cmp_failure(#a, #b, (a), (b), "=="))
+
+#define EXPECT_THROW(statement, expected_exception)                          \
+  MG_CHECK_(([&]() -> bool {                                                 \
+              try {                                                          \
+                statement;                                                   \
+              } catch (const expected_exception&) {                          \
+                return true;                                                 \
+              } catch (...) {                                                \
+                return false;                                                \
+              }                                                              \
+              return false;                                                  \
+            })(),                                                            \
+            "Expected: " #statement " throws " #expected_exception)
+#define EXPECT_NO_THROW(statement)                                           \
+  MG_CHECK_(([&]() -> bool {                                                 \
+              try {                                                          \
+                statement;                                                   \
+              } catch (...) {                                                \
+                return false;                                                \
+              }                                                              \
+              return true;                                                   \
+            })(),                                                            \
+            "Expected: " #statement " does not throw")

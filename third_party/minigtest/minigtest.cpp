@@ -1,0 +1,8 @@
+// minigtest runtime: the shim is header-only except for this gtest_main
+// equivalent, so test targets link one object and get an entry point.
+#include <gtest/gtest.h>
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
