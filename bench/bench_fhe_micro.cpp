@@ -1,11 +1,22 @@
-// google-benchmark microbenchmarks of the CKKS substrate: NTT, encode,
-// encrypt, ciphertext arithmetic, relinearized multiplication, rotation and
-// full PAF-ReLU per form. These are the primitives whose costs compose into
-// the Table 4 latency column.
-#include <benchmark/benchmark.h>
+// CKKS substrate microbenchmarks: primitive op latencies plus the parallel
+// backend's thread-scaling table (1/2/4/8 threads x N in {4096, 8192,
+// 16384}) with a hoisted-vs-naive rotation column. These are the primitives
+// whose costs compose into the Table 4 latency column; the JSON dump under
+// bench_out/ records the trajectory across PRs.
+//
+// Usage: bench_fhe_micro [quick]   ("quick" restricts to N = 4096)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
-#include "fhe/primes.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "smartpaf/fhe_deploy.h"
 
 namespace {
@@ -13,96 +24,126 @@ namespace {
 using namespace sp;
 using namespace sp::fhe;
 
-CkksContext& context() {
-  static CkksContext ctx(CkksParams::for_depth(8192, 10, 40));
-  return ctx;
+double median_ms(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
 }
 
-smartpaf::FheRuntime& runtime() {
-  static smartpaf::FheRuntime rt(CkksParams::for_depth(8192, 12, 40));
-  return rt;
-}
-
-void BM_NttForward(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const u64 q = generate_ntt_primes(50, 1, n)[0];
-  NttTables ntt(n, Modulus(q));
-  sp::Rng rng(1);
-  std::vector<u64> a(n);
-  for (auto& v : a) v = rng.next_u64() % q;
-  for (auto _ : state) {
-    ntt.forward(a.data());
-    benchmark::DoNotOptimize(a.data());
+template <typename Fn>
+double time_op(int reps, const Fn& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    times.push_back(t.ms());
   }
+  return median_ms(times);
 }
-BENCHMARK(BM_NttForward)->Arg(4096)->Arg(16384)->Arg(32768)->Iterations(200);
 
-void BM_Encode(benchmark::State& state) {
-  auto& ctx = context();
-  Encoder enc(ctx);
-  std::vector<double> v(ctx.slot_count(), 0.5);
-  for (auto _ : state) benchmark::DoNotOptimize(enc.encode(v, ctx.scale(), ctx.q_count()));
-}
-BENCHMARK(BM_Encode);
-
-void BM_Encrypt(benchmark::State& state) {
-  auto& rt = runtime();
-  std::vector<double> v(rt.ctx().slot_count(), 0.5);
-  const Plaintext pt = rt.encoder().encode(v, rt.ctx().scale(), rt.ctx().q_count());
-  for (auto _ : state) benchmark::DoNotOptimize(rt.encryptor().encrypt(pt));
-}
-BENCHMARK(BM_Encrypt);
-
-void BM_AddCiphertexts(benchmark::State& state) {
-  auto& rt = runtime();
-  std::vector<double> v(rt.ctx().slot_count(), 0.5);
-  const Ciphertext a = rt.encrypt(v), b = rt.encrypt(v);
-  for (auto _ : state) benchmark::DoNotOptimize(rt.evaluator().add(a, b));
-}
-BENCHMARK(BM_AddCiphertexts);
-
-void BM_MultiplyPlainRescale(benchmark::State& state) {
-  auto& rt = runtime();
-  std::vector<double> v(rt.ctx().slot_count(), 0.5);
-  const Ciphertext a = rt.encrypt(v);
-  for (auto _ : state) {
-    Ciphertext c = a;
-    rt.evaluator().multiply_plain_inplace(
-        c, rt.encoder().encode_scalar(1.5, rt.ctx().scale(), c.q_count()));
-    rt.evaluator().rescale_inplace(c);
-    benchmark::DoNotOptimize(c);
-  }
-}
-BENCHMARK(BM_MultiplyPlainRescale);
-
-void BM_MultiplyRelinRescale(benchmark::State& state) {
-  auto& rt = runtime();
-  std::vector<double> v(rt.ctx().slot_count(), 0.5);
-  const Ciphertext a = rt.encrypt(v), b = rt.encrypt(v);
-  for (auto _ : state) {
-    Ciphertext c = rt.evaluator().multiply(a, b);
-    rt.evaluator().relinearize_inplace(c, rt.relin_key());
-    rt.evaluator().rescale_inplace(c);
-    benchmark::DoNotOptimize(c);
-  }
-}
-BENCHMARK(BM_MultiplyRelinRescale)->Unit(benchmark::kMillisecond)->Iterations(10);
-
-void BM_PafRelu(benchmark::State& state) {
-  auto& rt = runtime();
-  const auto forms = approx::all_forms();
-  const auto form = forms[static_cast<std::size_t>(state.range(0))];
-  const auto paf = approx::make_paf(form);
-  std::vector<double> v(rt.ctx().slot_count(), 0.5);
-  const Ciphertext ct = rt.encrypt(v);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        rt.paf_evaluator().relu(rt.evaluator(), ct, paf, 2.0, nullptr));
-  }
-  state.SetLabel(approx::form_name(form));
-}
-BENCHMARK(BM_PafRelu)->DenseRange(0, 5)->Unit(benchmark::kMillisecond)->Iterations(3);
+struct ScalingRow {
+  std::size_t n = 0;
+  int threads = 0;
+  double ntt_roundtrip_ms = 0.0;  // full-chain RnsPoly inverse + forward NTT
+  double mult_ms = 0.0;        // ct-ct multiply + relin + rescale
+  double rot_naive_ms = 0.0;   // per rotation, 8-step fan, fresh decompositions
+  double rot_hoisted_ms = 0.0; // per rotation, 8-step fan, shared decomposition
+  std::size_t ntts_naive = 0;  // forward NTTs for the naive fan
+  std::size_t ntts_hoisted = 0;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "quick") == 0;
+  const std::vector<std::size_t> ns =
+      quick ? std::vector<std::size_t>{4096} : std::vector<std::size_t>{4096, 8192, 16384};
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const std::vector<int> fan = {1, 2, 4, 8, -1, -2, -4, -8};
+  const int reps = 3;
+
+  std::vector<ScalingRow> rows;
+  for (std::size_t n : ns) {
+    // One runtime (keygen) per ring size, shared across thread settings; the
+    // pool size only affects how the same work is dispatched.
+    smartpaf::FheRuntime rt(CkksParams::for_depth(n, 6, 40), /*seed=*/2024);
+    const GaloisKeys gk = rt.galois_keys(fan);
+    sp::Rng rng(3);
+    std::vector<double> v(rt.ctx().slot_count());
+    for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+    const Ciphertext ct = rt.encrypt(v);
+    Evaluator& ev = rt.evaluator();
+
+    for (int threads : thread_counts) {
+      ThreadPool::set_global_threads(threads);
+      ScalingRow row;
+      row.n = n;
+      row.threads = threads;
+
+      RnsPoly ntt_poly = ct.parts[0];  // copy outside the timed region
+      row.ntt_roundtrip_ms = time_op(reps, [&] {
+        ntt_poly.from_ntt();
+        ntt_poly.to_ntt();  // restores NTT form, reusable across reps
+      });
+      row.mult_ms = time_op(reps, [&] {
+        Ciphertext c = ev.multiply(ct, ct);
+        ev.relinearize_inplace(c, rt.relin_key());
+        ev.rescale_inplace(c);
+      });
+
+      ev.counters.reset();
+      row.rot_naive_ms = time_op(reps, [&] {
+                           for (int s : fan) ev.rotate(ct, s, gk);
+                         }) /
+                         static_cast<double>(fan.size());
+      row.ntts_naive = ev.counters.ntts_forward / static_cast<std::size_t>(reps);
+
+      ev.counters.reset();
+      row.rot_hoisted_ms = time_op(reps, [&] { ev.rotate_hoisted(ct, fan, gk); }) /
+                           static_cast<double>(fan.size());
+      row.ntts_hoisted = ev.counters.ntts_forward / static_cast<std::size_t>(reps);
+
+      rows.push_back(row);
+      std::printf("[bench] N=%zu threads=%d done\n", n, threads);
+    }
+  }
+  ThreadPool::set_global_threads(ThreadPool::env_threads());
+
+  Table table({"N", "threads", "ntt_roundtrip_ms", "mult_relin_rescale_ms", "rotate_naive_ms",
+               "rotate_hoisted_ms", "hoist_speedup", "fwd_ntts_naive",
+               "fwd_ntts_hoisted"});
+  for (const ScalingRow& r : rows)
+    table.add_row({std::to_string(r.n), std::to_string(r.threads), Table::num(r.ntt_roundtrip_ms, 3),
+                   Table::num(r.mult_ms, 2), Table::num(r.rot_naive_ms, 2),
+                   Table::num(r.rot_hoisted_ms, 2),
+                   Table::num(r.rot_naive_ms / std::max(r.rot_hoisted_ms, 1e-9), 2),
+                   std::to_string(r.ntts_naive), std::to_string(r.ntts_hoisted)});
+  table.print(std::cout);
+
+  // JSON trajectory for plotting across PRs.
+  const std::string json_path = bench::out_dir() + "/fhe_micro.json";
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const ScalingRow& r = rows[i];
+      std::fprintf(f,
+                   "  {\"n\": %zu, \"threads\": %d, \"ntt_roundtrip_ms\": %.4f, "
+                   "\"mult_relin_rescale_ms\": %.4f, \"rotate_naive_ms\": %.4f, "
+                   "\"rotate_hoisted_ms\": %.4f, \"fwd_ntts_naive\": %zu, "
+                   "\"fwd_ntts_hoisted\": %zu}%s\n",
+                   r.n, r.threads, r.ntt_roundtrip_ms, r.mult_ms, r.rot_naive_ms, r.rot_hoisted_ms,
+                   r.ntts_naive, r.ntts_hoisted, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("[bench] wrote %s\n", json_path.c_str());
+  }
+
+  // Sanity: hoisting must never lose to the naive fan on forward NTTs.
+  for (const ScalingRow& r : rows)
+    if (r.ntts_hoisted >= r.ntts_naive) {
+      std::printf("[bench] FAIL: hoisting did not reduce forward NTTs at N=%zu\n", r.n);
+      return 1;
+    }
+  return 0;
+}

@@ -1,0 +1,202 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sp {
+namespace {
+
+/// Nesting depth on this thread: > 0 inside a parallel_for lane (worker or
+/// caller), where further parallel_for calls must run inline.
+thread_local int tls_parallel_depth = 0;
+
+struct InlineScope {
+  InlineScope() { ++tls_parallel_depth; }
+  ~InlineScope() { --tls_parallel_depth; }
+};
+
+void run_serial(std::size_t begin, std::size_t end,
+                const std::function<void(std::size_t)>& body) {
+  InlineScope scope;
+  for (std::size_t i = begin; i < end; ++i) body(i);
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+
+  std::mutex mu;
+  std::condition_variable cv_work;  // workers wait for a new generation
+  std::condition_variable cv_done;  // caller waits for lanes to quiesce
+  std::uint64_t generation = 0;
+  int working = 0;   // workers still inside the current generation
+  bool busy = false;  // a caller currently owns the task slot
+  bool stop = false;
+
+  // Current task; `next` hands out indices so lanes load-balance while every
+  // index still runs exactly once (determinism does not depend on which lane
+  // claims which index — bodies only touch index-owned data).
+  std::atomic<std::size_t> next{0};
+  std::size_t end = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::exception_ptr error;
+
+  void run_indices() {
+    InlineScope scope;
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < end;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!error) error = std::current_exception();
+        // Abandon the remaining range; the caller rethrows after the join.
+        next.store(end, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv_work.wait(lk, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+      }
+      run_indices();
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (--working == 0) cv_done.notify_one();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  sp::check(threads >= 1, "ThreadPool: thread count must be >= 1");
+  if (threads_ == 1) return;  // exact serial path, no machinery
+  impl_ = std::make_unique<Impl>();
+  impl_->workers.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  // Serial pool, nested call, or a trivial range: run inline. (A concurrent
+  // parallel_for from a second user thread also degrades to inline via the
+  // dispatch mutex try-lock below — never wrong, only less parallel.)
+  if (!impl_ || count == 1 || tls_parallel_depth > 0) {
+    run_serial(begin, end, body);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  if (impl_->busy) {  // another caller owns the pool right now
+    lk.unlock();
+    run_serial(begin, end, body);
+    return;
+  }
+  impl_->busy = true;
+  impl_->next.store(begin, std::memory_order_relaxed);
+  impl_->end = end;
+  impl_->body = &body;
+  impl_->error = nullptr;
+  impl_->working = static_cast<int>(impl_->workers.size());
+  ++impl_->generation;
+  lk.unlock();
+  impl_->cv_work.notify_all();
+
+  impl_->run_indices();  // the caller is a lane too
+
+  lk.lock();
+  impl_->cv_done.wait(lk, [&] { return impl_->working == 0; });
+  impl_->body = nullptr;
+  impl_->busy = false;
+  if (impl_->error) {
+    std::exception_ptr err = impl_->error;
+    impl_->error = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+namespace {
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool;
+// Lock-free fast path for global(): hot loops hit it once per RnsPoly op.
+std::atomic<ThreadPool*> g_global_ptr{nullptr};
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  if (ThreadPool* p = g_global_ptr.load(std::memory_order_acquire)) return *p;
+  std::lock_guard<std::mutex> lk(g_global_mu);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(env_threads());
+    g_global_ptr.store(g_global_pool.get(), std::memory_order_release);
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_threads(int threads) {
+  sp::check(threads >= 1, "ThreadPool: thread count must be >= 1");
+  std::lock_guard<std::mutex> lk(g_global_mu);
+  if (g_global_pool && g_global_pool->threads() == threads) return;
+  g_global_ptr.store(nullptr, std::memory_order_release);
+  g_global_pool = std::make_unique<ThreadPool>(threads);
+  g_global_ptr.store(g_global_pool.get(), std::memory_order_release);
+}
+
+int ThreadPool::env_threads() {
+  const char* env = std::getenv("SMARTPAF_THREADS");
+  long v = 0;
+  if (env && *env) {
+    char* rest = nullptr;
+    v = std::strtol(env, &rest, 10);
+    if (rest == env || (rest && *rest != '\0')) v = 0;
+  }
+  if (v < 1) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    v = hw == 0 ? 1 : static_cast<long>(hw);
+  }
+  if (v > 256) v = 256;
+  return static_cast<int>(v);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  // Nested calls run inline without ever touching the global pool — lanes
+  // inside a parallel region (every RnsPoly op under a parallel digit loop)
+  // must not contend on the pool's state.
+  if (end <= begin) return;
+  if (tls_parallel_depth > 0 || end - begin == 1) {
+    run_serial(begin, end, body);
+    return;
+  }
+  ThreadPool::global().parallel_for(begin, end, body);
+}
+
+}  // namespace sp

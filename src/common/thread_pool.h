@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace sp {
+
+/// Fixed-size thread pool driving `parallel_for` over index ranges.
+///
+/// Design goals, in order: (1) results bit-identical to the serial path for
+/// any thread count — bodies own disjoint indices and every index runs
+/// exactly once, so data-parallel loops over independent rows/digits are
+/// deterministic by construction; (2) exact serial execution when sized to 1
+/// thread (no pool machinery on the hot path); (3) safe nesting — a
+/// parallel_for issued from inside a pool worker (or from inside another
+/// parallel_for on the caller thread) runs inline, so callees never deadlock
+/// on the pool they are already occupying.
+///
+/// The process-wide pool (`ThreadPool::global()`) is sized from the
+/// SMARTPAF_THREADS environment variable: unset or invalid means hardware
+/// concurrency, 1 means the exact serial path. Tests and benchmarks resize it
+/// at runtime with `set_global_threads`.
+class ThreadPool {
+ public:
+  /// `threads` = total parallelism including the calling thread (>= 1);
+  /// the pool owns `threads - 1` workers.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs body(i) for every i in [begin, end). The caller participates;
+  /// indices are claimed atomically so load balances across lanes. The first
+  /// exception thrown by any lane is rethrown on the caller after all lanes
+  /// quiesce (remaining indices are abandoned). Reentrant calls run inline.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Process-wide pool, created on first use with `env_threads()` lanes.
+  static ThreadPool& global();
+
+  /// Re-sizes the global pool (tests / bench sweeps). Must not be called
+  /// while a parallel_for is in flight on it.
+  static void set_global_threads(int threads);
+
+  /// SMARTPAF_THREADS, clamped to [1, 256]; hardware concurrency when the
+  /// variable is unset or unparsable.
+  static int env_threads();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;  // null when threads_ == 1
+  int threads_;
+};
+
+/// parallel_for on the process-wide pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace sp

@@ -1,8 +1,10 @@
 #include "fhe/evaluator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace sp::fhe {
 namespace {
@@ -20,9 +22,10 @@ void div_exact_rows(RnsPoly& poly, const u64* divisor_row, const Modulus& diviso
                     const std::vector<u64>& inv_mod_rows) {
   const std::size_t n = poly.n();
   const u64 d = divisor_mod.value();
-  for (int j = 0; j < poly.row_count(); ++j) {
+  sp::parallel_for(0, static_cast<std::size_t>(poly.row_count()), [&](std::size_t jj) {
+    const int j = static_cast<int>(jj);
     const Modulus& m = poly.row_mod(j);
-    const u64 inv = inv_mod_rows[static_cast<std::size_t>(j)];
+    const u64 inv = inv_mod_rows[jj];
     const u64 inv_shoup = shoup_precompute(inv, m.value());
     u64* r = poly.row(j);
     for (std::size_t i = 0; i < n; ++i) {
@@ -33,7 +36,7 @@ void div_exact_rows(RnsPoly& poly, const u64* divisor_row, const Modulus& diviso
       const u64 lift = m.from_signed(centered);
       r[i] = mul_shoup(m.sub(r[i], lift), inv, inv_shoup, m.value());
     }
-  }
+  });
 }
 
 }  // namespace
@@ -75,6 +78,18 @@ void Evaluator::negate_inplace(Ciphertext& ct) const {
   for (auto& p : ct.parts) p.negate_inplace();
 }
 
+void Evaluator::add_inplace(Ciphertext& a, const Ciphertext& b) const {
+  sp::check(a.q_count() == b.q_count(), "add_inplace: level mismatch");
+  check_scale_close(a.scale, b.scale);
+  const int common = std::min(a.size(), b.size());
+  for (int i = 0; i < common; ++i)
+    a.parts[static_cast<std::size_t>(i)].add_inplace(b.parts[static_cast<std::size_t>(i)]);
+  // The shorter operand is implicitly zero in its missing (quadratic) part.
+  for (int i = common; i < b.size(); ++i)
+    a.parts.push_back(b.parts[static_cast<std::size_t>(i)]);
+  ++counters.adds;
+}
+
 void Evaluator::add_plain_inplace(Ciphertext& ct, const Plaintext& pt) const {
   sp::check(ct.q_count() == pt.q_count(), "add_plain: level mismatch");
   check_scale_close(ct.scale, pt.scale);
@@ -111,19 +126,18 @@ Ciphertext Evaluator::multiply(const Ciphertext& a, const Ciphertext& b) const {
   return out;
 }
 
-std::pair<RnsPoly, RnsPoly> Evaluator::key_switch(const RnsPoly& d_coeff,
-                                                  const KSwitchKey& key) const {
+std::vector<RnsPoly> Evaluator::decompose_digits(const RnsPoly& d_coeff) const {
   sp::check(!d_coeff.is_ntt() && !d_coeff.has_special(),
-            "key_switch: expects coefficient form over chain rows");
-  const int l = d_coeff.q_count();           // chain rows of the ciphertext
-  const int rows = l + 1;                    // + special
-  const int key_q = ctx_->q_count();         // key basis chain size
+            "decompose_digits: expects coefficient form over chain rows");
+  const int l = d_coeff.q_count();
+  const int rows = l + 1;  // + special
   const std::size_t n = ctx_->n();
 
-  std::vector<std::vector<u128>> acc0(static_cast<std::size_t>(rows), std::vector<u128>(n, 0));
-  std::vector<std::vector<u128>> acc1(static_cast<std::size_t>(rows), std::vector<u128>(n, 0));
-
-  for (int i = 0; i < l; ++i) {
+  std::vector<RnsPoly> digits(static_cast<std::size_t>(l));
+  // Digits are independent: lift + forward NTT per digit in parallel. The
+  // NTT tally happens inside the region, hence the atomic counters.
+  sp::parallel_for(0, static_cast<std::size_t>(l), [&](std::size_t di) {
+    const int i = static_cast<int>(di);
     // Centered lift of the i-th residue row into the extended basis.
     const u64 qi = ctx_->q(i).value();
     RnsPoly digit(ctx_, l, /*with_special=*/true, /*ntt_form=*/false);
@@ -140,55 +154,88 @@ std::pair<RnsPoly, RnsPoly> Evaluator::key_switch(const RnsPoly& d_coeff,
       }
     }
     digit.to_ntt();
-    const auto& kd = key.digits[static_cast<std::size_t>(i)];
-    for (int t = 0; t < rows; ++t) {
-      // Ciphertext chain row t maps to key row t; the special row maps to
-      // the key's special row (index key_q).
-      const int key_row = (t == l) ? key_q : t;
-      const u64* dg = digit.row(t);
-      const u64* k0 = kd[0].row(key_row);
-      const u64* k1 = kd[1].row(key_row);
-      u128* a0 = acc0[static_cast<std::size_t>(t)].data();
-      u128* a1 = acc1[static_cast<std::size_t>(t)].data();
-      for (std::size_t j = 0; j < n; ++j) {
-        a0[j] += static_cast<u128>(dg[j]) * k0[j];
-        a1[j] += static_cast<u128>(dg[j]) * k1[j];
-      }
-    }
-  }
+    counters.ntts_forward += static_cast<std::size_t>(rows);
+    digits[di] = std::move(digit);
+  });
+  return digits;
+}
+
+std::pair<RnsPoly, RnsPoly> Evaluator::apply_kswitch(const std::vector<RnsPoly>& digits,
+                                                     const KSwitchKey& key,
+                                                     const std::uint32_t* ntt_perm) const {
+  const int l = static_cast<int>(digits.size());
+  const int rows = l + 1;
+  const int key_q = ctx_->q_count();  // key basis chain size
+  const std::size_t n = ctx_->n();
 
   RnsPoly r0(ctx_, l, true, true), r1(ctx_, l, true, true);
-  for (int t = 0; t < rows; ++t) {
+  // Each extended-basis row accumulates its digit inner product
+  // independently; the digit order inside a row is fixed, so sums (and the
+  // final Barrett reductions) are bit-identical for any thread count.
+  sp::parallel_for(0, static_cast<std::size_t>(rows), [&](std::size_t tt) {
+    const int t = static_cast<int>(tt);
+    // Ciphertext chain row t maps to key row t; the special row maps to the
+    // key's special row (index key_q).
+    const int key_row = (t == l) ? key_q : t;
+    std::vector<u128> acc0(n, 0), acc1(n, 0);
+    for (int i = 0; i < l; ++i) {
+      const u64* dg = digits[static_cast<std::size_t>(i)].row(t);
+      const auto& kd = key.digits[static_cast<std::size_t>(i)];
+      const u64* k0 = kd[0].row(key_row);
+      const u64* k1 = kd[1].row(key_row);
+      if (ntt_perm) {
+        for (std::size_t j = 0; j < n; ++j) {
+          const u64 dgj = dg[ntt_perm[j]];
+          acc0[j] += static_cast<u128>(dgj) * k0[j];
+          acc1[j] += static_cast<u128>(dgj) * k1[j];
+        }
+      } else {
+        for (std::size_t j = 0; j < n; ++j) {
+          acc0[j] += static_cast<u128>(dg[j]) * k0[j];
+          acc1[j] += static_cast<u128>(dg[j]) * k1[j];
+        }
+      }
+    }
     const Modulus& m = r0.row_mod(t);
     u64* d0 = r0.row(t);
     u64* d1 = r1.row(t);
-    const u128* a0 = acc0[static_cast<std::size_t>(t)].data();
-    const u128* a1 = acc1[static_cast<std::size_t>(t)].data();
     for (std::size_t j = 0; j < n; ++j) {
-      d0[j] = m.reduce128(a0[j]);
-      d1[j] = m.reduce128(a1[j]);
+      d0[j] = m.reduce128(acc0[j]);
+      d1[j] = m.reduce128(acc1[j]);
     }
-  }
+  });
 
-  // Mod-down: divide by the special prime P with centered rounding.
-  r0.from_ntt();
-  r1.from_ntt();
+  mod_down(r0);
+  mod_down(r1);
+  return {std::move(r0), std::move(r1)};
+}
+
+void Evaluator::mod_down(RnsPoly& r) const {
+  sp::check(r.has_special() && r.is_ntt(), "mod_down: expects NTT form over Q ∪ {P}");
+  const int l = r.q_count();
+  const std::size_t n = ctx_->n();
+  r.from_ntt();
+  counters.ntts_inverse += static_cast<std::size_t>(l + 1);
   std::vector<u64> p_inv(static_cast<std::size_t>(l));
   for (int j = 0; j < l; ++j) p_inv[static_cast<std::size_t>(j)] = ctx_->p_inv_mod(j);
-  for (RnsPoly* r : {&r0, &r1}) {
-    // Copy the special row, drop it, then apply the exact-division step.
-    std::vector<u64> special_row(r->row(l), r->row(l) + n);
-    r->drop_special();
-    div_exact_rows(*r, special_row.data(), ctx_->special(), p_inv);
-    r->to_ntt();
-  }
-  return {std::move(r0), std::move(r1)};
+  // Copy the special row, drop it, then apply the exact-division step.
+  std::vector<u64> special_row(r.row(l), r.row(l) + n);
+  r.drop_special();
+  div_exact_rows(r, special_row.data(), ctx_->special(), p_inv);
+  r.to_ntt();
+  counters.ntts_forward += static_cast<std::size_t>(l);
+}
+
+std::pair<RnsPoly, RnsPoly> Evaluator::key_switch(const RnsPoly& d_coeff,
+                                                  const KSwitchKey& key) const {
+  return apply_kswitch(decompose_digits(d_coeff), key, /*ntt_perm=*/nullptr);
 }
 
 void Evaluator::relinearize_inplace(Ciphertext& ct, const KSwitchKey& rk) const {
   sp::check(ct.size() == 3, "relinearize: ciphertext must have 3 parts");
   RnsPoly d = ct.parts[2];
   d.from_ntt();
+  counters.ntts_inverse += static_cast<std::size_t>(d.row_count());
   auto [r0, r1] = key_switch(d, rk);
   ct.parts.pop_back();
   ct.parts[0].add_inplace(r0);
@@ -208,6 +255,8 @@ void Evaluator::rescale_inplace(Ciphertext& ct) const {
     part.drop_last_q();
     div_exact_rows(part, last_row.data(), q_last, inv);
     part.to_ntt();
+    counters.ntts_inverse += static_cast<std::size_t>(last + 1);
+    counters.ntts_forward += static_cast<std::size_t>(last);
   }
   ct.scale /= static_cast<double>(q_last.value());
   ++counters.rescales;
@@ -234,11 +283,13 @@ Ciphertext Evaluator::rotate(const Ciphertext& ct, int steps, const GaloisKeys& 
   RnsPoly c1 = ct.parts[1];
   c0.from_ntt();
   c1.from_ntt();
+  counters.ntts_inverse += static_cast<std::size_t>(c0.row_count() + c1.row_count());
   RnsPoly c0g = apply_galois(c0, g);
   RnsPoly c1g = apply_galois(c1, g);
 
   auto [r0, r1] = key_switch(c1g, it->second);
   c0g.to_ntt();
+  counters.ntts_forward += static_cast<std::size_t>(c0g.row_count());
   r0.add_inplace(c0g);
 
   Ciphertext out;
@@ -246,6 +297,61 @@ Ciphertext Evaluator::rotate(const Ciphertext& ct, int steps, const GaloisKeys& 
   out.parts.push_back(std::move(r1));
   out.scale = ct.scale;
   ++counters.rotations;
+  return out;
+}
+
+HoistedDecomposition Evaluator::hoist(const Ciphertext& ct) const {
+  sp::check(ct.size() == 2, "hoist: relinearize first");
+  HoistedDecomposition h;
+  h.src = ct;
+  RnsPoly c1 = ct.parts[1];
+  c1.from_ntt();
+  counters.ntts_inverse += static_cast<std::size_t>(c1.row_count());
+  h.digits = decompose_digits(c1);
+  return h;
+}
+
+Ciphertext Evaluator::rotate_hoisted(const HoistedDecomposition& h, int steps,
+                                     const GaloisKeys& gk) const {
+  sp::check(!h.digits.empty(), "rotate_hoisted: empty decomposition");
+  const u64 g = galois_element(steps);
+  if (g == 1) return h.src;
+  const auto it = gk.keys.find(g);
+  sp::check(it != gk.keys.end(), "rotate_hoisted: missing Galois key for requested step");
+
+  // The decomposition commutes with the automorphism: lifting is
+  // coefficient-wise and X -> X^g is a signed coefficient permutation, so
+  // permuting the cached NTT-form digits equals decomposing the rotated
+  // ciphertext — bit for bit — at zero additional NTTs.
+  const std::vector<std::uint32_t>& table = galois_ntt_table(ctx_->n(), g);
+  auto [r0, r1] = apply_kswitch(h.digits, it->second, table.data());
+
+  // c0 rotates as the same pure NTT-domain permutation (no NTT round-trip).
+  const RnsPoly& c0 = h.src.parts[0];
+  const std::size_t n = ctx_->n();
+  for (int t = 0; t < r0.row_count(); ++t) {
+    const Modulus& m = r0.row_mod(t);
+    u64* dst = r0.row(t);
+    const u64* src = c0.row(t);
+    for (std::size_t j = 0; j < n; ++j) dst[j] = m.add(dst[j], src[table[j]]);
+  }
+
+  Ciphertext out;
+  out.parts.push_back(std::move(r0));
+  out.parts.push_back(std::move(r1));
+  out.scale = h.src.scale;
+  ++counters.rotations;
+  ++counters.hoisted_rotations;
+  return out;
+}
+
+std::vector<Ciphertext> Evaluator::rotate_hoisted(const Ciphertext& ct,
+                                                  const std::vector<int>& steps,
+                                                  const GaloisKeys& gk) const {
+  const HoistedDecomposition h = hoist(ct);
+  std::vector<Ciphertext> out;
+  out.reserve(steps.size());
+  for (int s : steps) out.push_back(rotate_hoisted(h, s, gk));
   return out;
 }
 

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <utility>
+#include <vector>
 
 #include "fhe/encryptor.h"
 #include "fhe/keys.h"
@@ -9,13 +12,55 @@ namespace sp::fhe {
 
 /// Running tally of homomorphic operations (latency accounting for the
 /// paper's cost model: ct-ct multiplications + relinearizations dominate).
+///
+/// Fields are relaxed atomics: evaluator internals fan work out across the
+/// SMARTPAF_THREADS pool (key-switch digits tally their NTTs from inside the
+/// parallel region), so plain increments would race and drop counts. Atomic
+/// tallies keep every total exactly thread-count-invariant. Copying takes a
+/// snapshot.
 struct OpCounters {
-  std::size_t adds = 0;
-  std::size_t plain_mults = 0;
-  std::size_t ct_mults = 0;
-  std::size_t relins = 0;
-  std::size_t rescales = 0;
-  std::size_t rotations = 0;
+  std::atomic<std::size_t> adds{0};
+  std::atomic<std::size_t> plain_mults{0};
+  std::atomic<std::size_t> ct_mults{0};
+  std::atomic<std::size_t> relins{0};
+  std::atomic<std::size_t> rescales{0};
+  std::atomic<std::size_t> rotations{0};
+  /// Rotations served from a HoistedDecomposition (also counted in
+  /// `rotations`): these skip the per-rotation digit decomposition.
+  std::atomic<std::size_t> hoisted_rotations{0};
+  /// Per-row forward/inverse NTTs issued by evaluator operations — the
+  /// hoisting win shows up here: a hoisted rotation fan performs strictly
+  /// fewer forward NTTs than the same fan of naive rotations.
+  std::atomic<std::size_t> ntts_forward{0};
+  std::atomic<std::size_t> ntts_inverse{0};
+
+  OpCounters() = default;
+  OpCounters(const OpCounters& o) { *this = o; }
+  OpCounters& operator=(const OpCounters& o) {
+    adds = o.adds.load();
+    plain_mults = o.plain_mults.load();
+    ct_mults = o.ct_mults.load();
+    relins = o.relins.load();
+    rescales = o.rescales.load();
+    rotations = o.rotations.load();
+    hoisted_rotations = o.hoisted_rotations.load();
+    ntts_forward = o.ntts_forward.load();
+    ntts_inverse = o.ntts_inverse.load();
+    return *this;
+  }
+
+  void reset() { *this = OpCounters(); }
+};
+
+/// One-time key-switch decomposition of a ciphertext, reusable across many
+/// rotations of the same input ("hoisting"). The decomposition digits are
+/// lifted to the extended basis and NTT'd once; each rotation then only
+/// permutes the cached digits in the NTT domain (a slot shuffle) before the
+/// key inner product — the classic 2-3x saving for rotation fans (BSGS baby
+/// steps, conv im2col, pooling).
+struct HoistedDecomposition {
+  Ciphertext src;               ///< decomposed ciphertext (returned for step 0)
+  std::vector<RnsPoly> digits;  ///< NTT form over chain + special rows
 };
 
 /// Leveled CKKS evaluator: arithmetic, rescaling, relinearization via hybrid
@@ -24,6 +69,10 @@ struct OpCounters {
 /// Conventions: ciphertext parts are kept in NTT form; `level` = q_count-1
 /// counts remaining rescales; scales are tracked as exact doubles and
 /// addition requires operands within 1e-6 relative scale mismatch.
+///
+/// Hot loops (NTT batches, key-switch digit decomposition, per-row inner
+/// products) run on the SMARTPAF_THREADS pool; results are bit-identical for
+/// every thread count.
 class Evaluator {
  public:
   explicit Evaluator(const CkksContext& ctx) : ctx_(&ctx) {}
@@ -41,12 +90,25 @@ class Evaluator {
   Ciphertext sub(const Ciphertext& a, const Ciphertext& b) const;
   void negate_inplace(Ciphertext& ct) const;
 
+  /// a += b with size-mismatch support: a 2-part and a 3-part (pre-relin)
+  /// operand add by zero-padding the shorter one. This is what lets lazy
+  /// relinearization accumulate BSGS block sums in 3-part form and pay for a
+  /// single relinearization per join.
+  void add_inplace(Ciphertext& a, const Ciphertext& b) const;
+
   void add_plain_inplace(Ciphertext& ct, const Plaintext& pt) const;
   void multiply_plain_inplace(Ciphertext& ct, const Plaintext& pt) const;
 
   /// Tensor product; result has 3 parts and scale = sa * sb. Operands must
   /// be at the same level (use match_levels).
   Ciphertext multiply(const Ciphertext& a, const Ciphertext& b) const;
+
+  /// Explicit lazy-relinearization spelling of `multiply`: the 3-part result
+  /// is meant to be accumulated with `add_inplace` and relinearized once at
+  /// the join instead of once per product.
+  Ciphertext multiply_no_relin(const Ciphertext& a, const Ciphertext& b) const {
+    return multiply(a, b);
+  }
 
   /// Switches the quadratic part back to the canonical basis (size 3 -> 2).
   void relinearize_inplace(Ciphertext& ct, const KSwitchKey& rk) const;
@@ -57,16 +119,47 @@ class Evaluator {
   /// Rotates slots left by `steps` (Galois automorphism + key switch).
   Ciphertext rotate(const Ciphertext& ct, int steps, const GaloisKeys& gk) const;
 
+  /// Computes the key-switch decomposition of `ct` once, for reuse across a
+  /// fan of rotations (`ct` must be 2-part).
+  HoistedDecomposition hoist(const Ciphertext& ct) const;
+
+  /// Rotation from a hoisted decomposition: bit-identical to
+  /// `rotate(h.src, steps, gk)` while skipping the per-rotation digit
+  /// decomposition and the c0 NTT round-trip entirely.
+  Ciphertext rotate_hoisted(const HoistedDecomposition& h, int steps,
+                            const GaloisKeys& gk) const;
+
+  /// Hoisted rotation fan: decomposes once, applies every step's Galois key
+  /// to the shared digits.
+  std::vector<Ciphertext> rotate_hoisted(const Ciphertext& ct,
+                                         const std::vector<int>& steps,
+                                         const GaloisKeys& gk) const;
+
   /// Galois element for a left rotation by `steps` slots.
   u64 galois_element(int steps) const;
 
   mutable OpCounters counters;
 
  private:
+  /// Lifts each chain-prime residue row of `d_coeff` into the extended basis
+  /// Q ∪ {P} and NTTs it: the hoistable half of hybrid key switching.
+  std::vector<RnsPoly> decompose_digits(const RnsPoly& d_coeff) const;
+
+  /// Inner product of the digits with a key-switching key, followed by the
+  /// P mod-down; `ntt_perm`, when non-null, applies a Galois slot permutation
+  /// to every digit on the fly (hoisted rotations).
+  std::pair<RnsPoly, RnsPoly> apply_kswitch(const std::vector<RnsPoly>& digits,
+                                            const KSwitchKey& key,
+                                            const std::uint32_t* ntt_perm) const;
+
   /// Key-switches `d` (coefficient form, q_count chain rows) and returns the
   /// two NTT-form correction polynomials over the same q_count rows.
   std::pair<RnsPoly, RnsPoly> key_switch(const RnsPoly& d_coeff,
                                          const KSwitchKey& key) const;
+
+  /// Divides an extended-basis polynomial by the special prime P with
+  /// centered rounding, returning to chain rows in NTT form.
+  void mod_down(RnsPoly& r) const;
 
   const CkksContext* ctx_;
 };

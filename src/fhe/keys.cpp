@@ -1,5 +1,8 @@
 #include "fhe/keys.h"
 
+#include <mutex>
+#include <utility>
+
 #include "common/check.h"
 
 namespace sp::fhe {
@@ -87,6 +90,59 @@ GaloisKeys KeyGenerator::galois_keys(const std::vector<int>& steps) {
     RnsPoly sg = apply_galois(sk_.s_coeff, g);
     sg.to_ntt();
     out.keys.emplace(g, make_kswitch_key(sg));
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::uint32_t> build_galois_ntt_table(std::size_t n, u64 galois_elt) {
+  int log_n = 0;
+  while ((std::size_t(1) << log_n) < n) ++log_n;
+  const auto brev = [log_n](std::size_t v) {
+    std::size_t r = 0;
+    for (int b = 0; b < log_n; ++b) {
+      r = (r << 1) | (v & 1);
+      v >>= 1;
+    }
+    return r;
+  };
+  const std::size_t two_n = 2 * n;
+  std::vector<std::uint32_t> table(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // Slot j evaluates at exponent e = 2*brev(j)+1; X -> X^g sends it to the
+    // slot holding exponent e*g mod 2n (odd, since g is odd).
+    const std::size_t e = ((2 * brev(j) + 1) * galois_elt) % two_n;
+    table[j] = static_cast<std::uint32_t>(brev((e - 1) / 2));
+  }
+  return table;
+}
+
+}  // namespace
+
+const std::vector<std::uint32_t>& galois_ntt_table(std::size_t n, u64 galois_elt) {
+  // Rotation-heavy layers re-request the same few (n, g) tables constantly;
+  // std::map nodes are stable, so the reference survives later inserts.
+  static std::mutex mu;
+  static std::map<std::pair<std::size_t, u64>, std::vector<std::uint32_t>> cache;
+  std::lock_guard<std::mutex> lk(mu);
+  auto it = cache.find({n, galois_elt});
+  if (it == cache.end())
+    it = cache.emplace(std::make_pair(n, galois_elt),
+                       build_galois_ntt_table(n, galois_elt)).first;
+  return it->second;
+}
+
+RnsPoly apply_galois_ntt(const RnsPoly& ntt_poly, u64 galois_elt) {
+  sp::check(ntt_poly.is_ntt(), "apply_galois_ntt: expects NTT form");
+  const std::size_t n = ntt_poly.n();
+  const std::vector<std::uint32_t>& table = galois_ntt_table(n, galois_elt);
+  RnsPoly out(ntt_poly.context(), ntt_poly.q_count(), ntt_poly.has_special(),
+              /*ntt_form=*/true);
+  for (int r = 0; r < ntt_poly.row_count(); ++r) {
+    const u64* src = ntt_poly.row(r);
+    u64* dst = out.row(r);
+    for (std::size_t j = 0; j < n; ++j) dst[j] = src[table[j]];
   }
   return out;
 }

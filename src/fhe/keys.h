@@ -75,4 +75,17 @@ class KeyGenerator {
 /// Applies the Galois automorphism X -> X^g to a coefficient-form polynomial.
 RnsPoly apply_galois(const RnsPoly& coeff_poly, u64 galois_elt);
 
+/// Index table applying X -> X^g directly on NTT-form rows: out[j] =
+/// in[table[j]]. NTT slot j holds the evaluation at psi^(2*brev(j)+1), and
+/// the automorphism permutes evaluation points without sign corrections, so
+/// permuting by this table equals NTT(apply_galois(iNTT(x))) bit for bit.
+/// This is what makes key-switch hoisting pay: decomposition digits are
+/// NTT'd once and re-permuted per rotation instead of re-decomposed.
+/// Tables depend only on (n, g) and are memoized process-wide (thread-safe;
+/// the returned reference stays valid for the process lifetime).
+const std::vector<std::uint32_t>& galois_ntt_table(std::size_t n, u64 galois_elt);
+
+/// Applies the Galois automorphism to an NTT-form polynomial via the table.
+RnsPoly apply_galois_ntt(const RnsPoly& ntt_poly, u64 galois_elt);
+
 }  // namespace sp::fhe

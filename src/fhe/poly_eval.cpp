@@ -178,6 +178,7 @@ struct EvalCtx {
   EvalStats* stats;
   PowerBasis* basis;
   bool use_bsgs;
+  bool lazy;  ///< defer relinearization of window products to the joins
 };
 
 void count_mult(EvalCtx& ec) {
@@ -187,6 +188,57 @@ void count_mult(EvalCtx& ec) {
     ++ec.stats->rescales;
   }
 }
+
+/// Partial window sum during execution. `done` holds the 2-part
+/// contributions already delivered at (target_level, target_scale);
+/// `pending` holds lazily accumulated 3-part tensor products one level up
+/// (scale target_scale * q), all sharing one relinearization + one rescale
+/// at the join. Deferring the rescale together with the relin matters for
+/// precision: rescaling a 3-part ciphertext would inject tau * s^2 rounding
+/// noise per product, while the joined sum is relinearized first and then
+/// rescaled once — never noisier than the eager schedule.
+struct WindowSum {
+  std::optional<Ciphertext> done;
+  std::optional<Ciphertext> pending;
+  double constant = 0.0;
+};
+
+void add_done(EvalCtx& ec, WindowSum& sum, Ciphertext&& ct) {
+  if (sum.done)
+    ec.ev->add_inplace(*sum.done, ct);
+  else
+    sum.done = std::move(ct);
+}
+
+void add_pending(EvalCtx& ec, WindowSum& sum, Ciphertext&& ct) {
+  if (sum.pending)
+    ec.ev->add_inplace(*sum.pending, ct);
+  else
+    sum.pending = std::move(ct);
+}
+
+/// term = xa * b into the sum: eager mode pays relin + rescale immediately
+/// (`done` slot); lazy mode parks the raw 3-part product in `pending`.
+void add_product(EvalCtx& ec, WindowSum& sum, const Ciphertext& xa, const Ciphertext& b,
+                 double target_scale, double pre_scale) {
+  if (ec.lazy) {
+    Ciphertext term = ec.ev->multiply_no_relin(xa, b);
+    term.scale = pre_scale;  // = target_scale * q, exact by construction
+    if (ec.stats) {
+      ++ec.stats->ct_mults;
+      ++ec.stats->relins_deferred;
+    }
+    add_pending(ec, sum, std::move(term));
+  } else {
+    Ciphertext term = ec.ev->multiply(xa, b);
+    ec.ev->relinearize_inplace(term, *ec.relin);
+    ec.ev->rescale_inplace(term);
+    term.scale = target_scale;  // exact by construction
+    count_mult(ec);
+    add_done(ec, sum, std::move(term));
+  }
+}
+
 
 /// (factor * ct) at (target_level, target_scale): one plain mult + rescale.
 Ciphertext rescale_onto(EvalCtx& ec, const Ciphertext& ct, double factor,
@@ -208,22 +260,55 @@ void fold_constant(EvalCtx& ec, Ciphertext& ct, double c) {
   ec.ev->add_plain_inplace(ct, ec.encoder->encode_scalar(c, ct.scale, ct.q_count()));
 }
 
+/// Joins a window sum into one ciphertext at (target_level, target_scale):
+/// the pending products share a single relinearization + rescale. Returns
+/// nullopt (leaving *constant_out) when the sum is a bare constant.
+std::optional<Ciphertext> resolve(EvalCtx& ec, WindowSum&& sum, double target_scale,
+                                  double* constant_out) {
+  *constant_out = sum.constant;
+  std::optional<Ciphertext> out;
+  if (sum.pending) {
+    ec.ev->relinearize_inplace(*sum.pending, *ec.relin);
+    ec.ev->rescale_inplace(*sum.pending);
+    sum.pending->scale = target_scale;
+    if (ec.stats) {
+      ++ec.stats->relins;
+      ++ec.stats->rescales;
+    }
+    out = std::move(sum.pending);
+    if (sum.done) ec.ev->add_inplace(*out, *sum.done);
+  } else {
+    out = std::move(sum.done);
+  }
+  if (out) {
+    fold_constant(ec, *out, *constant_out);
+    *constant_out = 0.0;
+  }
+  return out;
+}
+
+/// Merges a sibling sum delivered at the same (level, scale) pair.
+void merge(EvalCtx& ec, WindowSum& sum, WindowSum&& other) {
+  if (other.done) add_done(ec, sum, std::move(*other.done));
+  if (other.pending) add_pending(ec, sum, std::move(*other.pending));
+  sum.constant += other.constant;
+}
+
 /// BSGS executor: sum_{j=blo..bhi} B_j(x) x^{(j-blo)*kk} delivered at exactly
 /// (target_level, target_scale), where B_j is block j of the window at `lo`.
 /// Baby blocks combine cached powers with fused coefficient rescales (no
 /// ct-ct mults); giant steps x^(kk*t) join block ranges with one ct-ct mult
 /// per non-constant range, mirroring plan_blocks.
-std::optional<Ciphertext> eval_blocks(EvalCtx& ec, const approx::Polynomial& p, int lo,
-                                      int kk, int blo, int bhi, int target_level,
-                                      double target_scale, double* constant_out) {
-  *constant_out = 0.0;
+WindowSum eval_blocks(EvalCtx& ec, const approx::Polynomial& p, int lo, int kk, int blo,
+                      int bhi, int target_level, double target_scale) {
+  WindowSum sum;
   int d_blocks = 0;
   for (int j = blo + 1; j <= bhi; ++j)
     if (block_has_nonzero(p, lo, kk, j)) d_blocks = j - blo;
 
   if (d_blocks == 0) {
     // Single baby block: a linear combination of cached powers x^1..x^{kk-1}.
-    *constant_out = p.coeff(lo + blo * kk);
+    sum.constant = p.coeff(lo + blo * kk);
     std::optional<Ciphertext> acc;
     for (int i = 1; i < kk; ++i) {
       const double c = p.coeff(lo + blo * kk + i);
@@ -236,10 +321,11 @@ std::optional<Ciphertext> eval_blocks(EvalCtx& ec, const approx::Polynomial& p, 
         acc = std::move(term);
     }
     if (acc) {
-      fold_constant(ec, *acc, *constant_out);
-      *constant_out = 0.0;
+      fold_constant(ec, *acc, sum.constant);
+      sum.constant = 0.0;
+      sum.done = std::move(acc);
     }
-    return acc;
+    return sum;
   }
 
   int t = 1;
@@ -247,99 +333,85 @@ std::optional<Ciphertext> eval_blocks(EvalCtx& ec, const approx::Polynomial& p, 
   const Ciphertext& xg = ec.basis->power(*ec.ev, kk * t, ec.stats);
 
   // term = x^(kk*t) * (blocks blo+t .. blo+d_blocks), landing at target_scale.
-  Ciphertext term;
   {
     const u64 q = ec.ctx->q(target_level + 1).value();
     const double b_scale = target_scale * static_cast<double>(q) / xg.scale;
     double b_const = 0.0;
-    std::optional<Ciphertext> b = eval_blocks(ec, p, lo, kk, blo + t, blo + d_blocks,
-                                              target_level + 1, b_scale, &b_const);
+    std::optional<Ciphertext> b =
+        resolve(ec,
+                eval_blocks(ec, p, lo, kk, blo + t, blo + d_blocks, target_level + 1,
+                            b_scale),
+                b_scale, &b_const);
     if (!b) {
-      term = rescale_onto(ec, xg, b_const, target_level, target_scale);
+      add_done(ec, sum, rescale_onto(ec, xg, b_const, target_level, target_scale));
     } else {
-      fold_constant(ec, *b, b_const);
       Ciphertext xa = xg;
       ec.ev->drop_to_level(xa, target_level + 1);
-      term = ec.ev->multiply(xa, *b);
-      ec.ev->relinearize_inplace(term, *ec.relin);
-      ec.ev->rescale_inplace(term);
-      term.scale = target_scale;  // = s_g * b_scale / q by construction
-      count_mult(ec);
+      add_product(ec, sum, xa, *b, target_scale,
+                  target_scale * static_cast<double>(q));
     }
   }
 
-  double a_const = 0.0;
-  std::optional<Ciphertext> a =
-      eval_blocks(ec, p, lo, kk, blo, blo + t - 1, target_level, target_scale, &a_const);
-  if (a) term = ec.ev->add(term, *a);
-  fold_constant(ec, term, a_const);
-  return term;
+  merge(ec, sum,
+        eval_blocks(ec, p, lo, kk, blo, blo + t - 1, target_level, target_scale));
+  return sum;
 }
 
-/// Evaluates the window sum_{k=lo..hi} c_k x^(k-lo) at exactly
-/// (target_level, target_scale), returning nullopt (and *constant_out) when
-/// the window is a scalar constant the caller folds in.
+/// Evaluates the window sum_{k=lo..hi} c_k x^(k-lo), delivered at exactly
+/// (target_level, target_scale) once the caller resolves the returned sum.
 ///
 /// Each node first asks the planner whether a BSGS decomposition fits the
 /// remaining level budget with strictly fewer ct-ct mults; otherwise it runs
 /// one step of the balanced ladder split p = A + x^h * B and recurses — so
 /// the schedule never consumes more levels or more multiplications than the
 /// pure ladder (Appendix-C) baseline.
-std::optional<Ciphertext> eval_window(EvalCtx& ec, const approx::Polynomial& p, int lo,
-                                      int hi, int target_level, double target_scale,
-                                      double* constant_out) {
-  *constant_out = p.coeff(lo);
+WindowSum eval_window(EvalCtx& ec, const approx::Polynomial& p, int lo, int hi,
+                      int target_level, double target_scale) {
+  WindowSum sum;
+  sum.constant = p.coeff(lo);
   const int d = effective_degree(p, lo, hi);
-  if (d == 0) return std::nullopt;
+  if (d == 0) return sum;
 
   const Ciphertext& x = ec.basis->x();
-  if (d == 1) return rescale_onto(ec, x, p.coeff(lo + 1), target_level, target_scale);
+  if (d == 1) {
+    add_done(ec, sum, rescale_onto(ec, x, p.coeff(lo + 1), target_level, target_scale));
+    return sum;
+  }
 
   if (ec.use_bsgs) {
     const int budget = x.level() - target_level;
     if (auto kk = choose_bsgs(p, lo, d, budget, *ec.basis)) {
-      std::optional<Ciphertext> out =
-          eval_blocks(ec, p, lo, *kk, 0, d / *kk, target_level, target_scale, constant_out);
-      sp::check(out.has_value(), "eval_poly: BSGS block range produced no ciphertext");
-      return out;
+      // Block 0 of the decomposition covers the window constant p.coeff(lo).
+      return eval_blocks(ec, p, lo, *kk, 0, d / *kk, target_level, target_scale);
     }
   }
+  sum.constant = 0.0;  // the low-half recursion below carries p.coeff(lo)
 
   int h = 1;
   while (h * 2 <= d) h *= 2;
   const Ciphertext& xh = ec.basis->power(*ec.ev, h, ec.stats);
 
   // --- term = x^h * B, landing at target_scale -----------------------------
-  Ciphertext term;
   const int d_b = effective_degree(p, lo + h, lo + d);
   if (d_b == 0) {
     // B is the single constant coefficient c_{lo+h} (nonzero by choice of d).
-    term = rescale_onto(ec, xh, p.coeff(lo + h), target_level, target_scale);
+    add_done(ec, sum, rescale_onto(ec, xh, p.coeff(lo + h), target_level, target_scale));
   } else {
     const u64 q = ec.ctx->q(target_level + 1).value();
     const double b_scale = target_scale * static_cast<double>(q) / xh.scale;
     double b_const = 0.0;
-    std::optional<Ciphertext> b =
-        eval_window(ec, p, lo + h, lo + d, target_level + 1, b_scale, &b_const);
+    std::optional<Ciphertext> b = resolve(
+        ec, eval_window(ec, p, lo + h, lo + d, target_level + 1, b_scale), b_scale,
+        &b_const);
     sp::check(b.has_value(), "eval_poly: non-constant block produced no ciphertext");
-    fold_constant(ec, *b, b_const);
     Ciphertext xa = xh;
     ec.ev->drop_to_level(xa, target_level + 1);
-    term = ec.ev->multiply(xa, *b);
-    ec.ev->relinearize_inplace(term, *ec.relin);
-    ec.ev->rescale_inplace(term);
-    term.scale = target_scale;  // = s_xh * b_scale / q by construction
-    count_mult(ec);
+    add_product(ec, sum, xa, *b, target_scale, target_scale * static_cast<double>(q));
   }
 
   // --- low block A at the same (level, scale) ------------------------------
-  double a_const = 0.0;
-  std::optional<Ciphertext> a =
-      eval_window(ec, p, lo, lo + h - 1, target_level, target_scale, &a_const);
-  if (a) term = ec.ev->add(term, *a);
-  fold_constant(ec, term, a_const);
-  *constant_out = 0.0;
-  return term;
+  merge(ec, sum, eval_window(ec, p, lo, lo + h - 1, target_level, target_scale));
+  return sum;
 }
 
 }  // namespace
@@ -439,12 +511,14 @@ Ciphertext PafEvaluator::eval_poly(Evaluator& ev, PowerBasis& basis,
   const int mults_before = stats ? stats->ct_mults : 0;
 
   EvalCtx ec{&ev,  encoder_, relin_, ctx_, stats, &basis,
-             strategy_ == Strategy::BSGS};
+             strategy_ == Strategy::BSGS, lazy_relin_};
   double constant = 0.0;
+  // The final resolve is the last join: any lazily accumulated 3-part sum
+  // pays its single relinearization + rescale here.
   std::optional<Ciphertext> out =
-      eval_window(ec, p, 0, deg, x.level() - depth, ctx_->scale(), &constant);
+      resolve(ec, eval_window(ec, p, 0, deg, x.level() - depth, ctx_->scale()),
+              ctx_->scale(), &constant);
   sp::check(out.has_value(), "eval_poly: polynomial reduced to a constant");
-  fold_constant(ec, *out, constant);
 
   if (stats) {
     stats->ladder_ct_mults += baseline;

@@ -26,6 +26,11 @@ struct EvalStats {
   int ct_mults_saved = 0;   ///< ladder_ct_mults - executed ct_mults
   int relins_saved = 0;     ///< every saved ct mult also saves one relin...
   int rescales_saved = 0;   ///< ...and one rescale
+  /// Multiplications whose relinearization was deferred by the lazy-relin
+  /// path (3-part accumulation, one relin per join): `relins` counts only
+  /// the relinearizations actually performed, so under lazy relin
+  /// relins <= ct_mults <= relins + relins_deferred.
+  int relins_deferred = 0;
 };
 
 /// Memoized power cache for one evaluation input: x^e is built on demand via
@@ -94,6 +99,14 @@ class PafEvaluator {
   Strategy strategy() const { return strategy_; }
   void set_strategy(Strategy s) { strategy_ = s; }
 
+  /// Lazy relinearization (default on): ct-ct products inside a window stay
+  /// 3-part, block sums accumulate via the evaluator's 3-part-aware
+  /// `add_inplace`, and one relinearization is paid per giant-step join (and
+  /// once at the end) instead of one per multiplication. Turn off to get
+  /// the eager schedule (one relin per ct-ct mult), e.g. for comparisons.
+  bool lazy_relin() const { return lazy_relin_; }
+  void set_lazy_relin(bool lazy) { lazy_relin_ = lazy; }
+
   /// p(x) for a general dense polynomial (degree >= 1).
   Ciphertext eval_poly(Evaluator& ev, const Ciphertext& x, const approx::Polynomial& p,
                        EvalStats* stats = nullptr) const;
@@ -146,6 +159,7 @@ class PafEvaluator {
   const Encoder* encoder_;
   const KSwitchKey* relin_;
   Strategy strategy_;
+  bool lazy_relin_ = true;
 };
 
 }  // namespace sp::fhe

@@ -3,8 +3,21 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace sp::fhe {
+namespace {
+
+/// Row-parallel loop: every RNS row is independent in all elementwise ops and
+/// NTT conversions, so per-row dispatch over the global pool is bit-identical
+/// to the serial loop for any SMARTPAF_THREADS value.
+template <typename Body>
+void for_each_row(int rows, const Body& body) {
+  sp::parallel_for(0, static_cast<std::size_t>(rows),
+                   [&](std::size_t i) { body(static_cast<int>(i)); });
+}
+
+}  // namespace
 
 RnsPoly::RnsPoly(const CkksContext* ctx, int q_count, bool with_special, bool ntt_form)
     : ctx_(ctx), q_count_(q_count), with_special_(with_special), ntt_(ntt_form) {
@@ -25,13 +38,13 @@ const NttTables& RnsPoly::row_ntt(int i) const {
 
 void RnsPoly::to_ntt() {
   sp::check(!ntt_, "RnsPoly::to_ntt: already in NTT form");
-  for (int i = 0; i < row_count(); ++i) row_ntt(i).forward(row(i));
+  for_each_row(row_count(), [&](int i) { row_ntt(i).forward(row(i)); });
   ntt_ = true;
 }
 
 void RnsPoly::from_ntt() {
   sp::check(ntt_, "RnsPoly::from_ntt: not in NTT form");
-  for (int i = 0; i < row_count(); ++i) row_ntt(i).inverse(row(i));
+  for_each_row(row_count(), [&](int i) { row_ntt(i).inverse(row(i)); });
   ntt_ = false;
 }
 
@@ -45,51 +58,51 @@ void check_compatible(const RnsPoly& a, const RnsPoly& b) {
 
 void RnsPoly::add_inplace(const RnsPoly& o) {
   check_compatible(*this, o);
-  for (int i = 0; i < row_count(); ++i) {
+  for_each_row(row_count(), [&](int i) {
     const Modulus& m = row_mod(i);
     u64* a = row(i);
     const u64* b = o.row(i);
     for (std::size_t j = 0; j < n(); ++j) a[j] = m.add(a[j], b[j]);
-  }
+  });
 }
 
 void RnsPoly::sub_inplace(const RnsPoly& o) {
   check_compatible(*this, o);
-  for (int i = 0; i < row_count(); ++i) {
+  for_each_row(row_count(), [&](int i) {
     const Modulus& m = row_mod(i);
     u64* a = row(i);
     const u64* b = o.row(i);
     for (std::size_t j = 0; j < n(); ++j) a[j] = m.sub(a[j], b[j]);
-  }
+  });
 }
 
 void RnsPoly::negate_inplace() {
-  for (int i = 0; i < row_count(); ++i) {
+  for_each_row(row_count(), [&](int i) {
     const Modulus& m = row_mod(i);
     u64* a = row(i);
     for (std::size_t j = 0; j < n(); ++j) a[j] = m.neg(a[j]);
-  }
+  });
 }
 
 void RnsPoly::mul_inplace(const RnsPoly& o) {
   check_compatible(*this, o);
   sp::check(ntt_, "RnsPoly::mul_inplace: requires NTT form");
-  for (int i = 0; i < row_count(); ++i) {
+  for_each_row(row_count(), [&](int i) {
     const Modulus& m = row_mod(i);
     u64* a = row(i);
     const u64* b = o.row(i);
     for (std::size_t j = 0; j < n(); ++j) a[j] = m.mul(a[j], b[j]);
-  }
+  });
 }
 
 void RnsPoly::mul_scalar_inplace(u64 v) {
-  for (int i = 0; i < row_count(); ++i) {
+  for_each_row(row_count(), [&](int i) {
     const Modulus& m = row_mod(i);
     const u64 vi = v % m.value();
     const u64 vs = shoup_precompute(vi, m.value());
     u64* a = row(i);
     for (std::size_t j = 0; j < n(); ++j) a[j] = mul_shoup(a[j], vi, vs, m.value());
-  }
+  });
 }
 
 void RnsPoly::drop_last_q() {

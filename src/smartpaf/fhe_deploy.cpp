@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace sp::smartpaf {
 
@@ -17,6 +18,12 @@ FheRuntime::FheRuntime(const fhe::CkksParams& params, std::uint64_t seed) {
   evaluator_ = std::make_unique<fhe::Evaluator>(*ctx_);
   paf_eval_ = std::make_unique<fhe::PafEvaluator>(*ctx_, *encoder_, *relin_);
 }
+
+fhe::GaloisKeys FheRuntime::galois_keys(const std::vector<int>& steps) {
+  return keygen_->galois_keys(steps);
+}
+
+int FheRuntime::threads() const { return sp::ThreadPool::global().threads(); }
 
 fhe::Ciphertext FheRuntime::encrypt(const std::vector<double>& values) {
   return encryptor_->encrypt(encoder_->encode(values, ctx_->scale(), ctx_->q_count()));

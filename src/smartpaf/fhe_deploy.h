@@ -23,6 +23,14 @@ class FheRuntime {
   fhe::PafEvaluator& paf_evaluator() { return *paf_eval_; }
   const fhe::KSwitchKey& relin_key() const { return *relin_; }
 
+  /// Rotation keys for the given slot steps (keygen on demand). Use with
+  /// `Evaluator::rotate` / `rotate_hoisted` for rotation-heavy layers.
+  fhe::GaloisKeys galois_keys(const std::vector<int>& steps);
+
+  /// Lanes of the process-wide pool serving this runtime's hot loops
+  /// (SMARTPAF_THREADS).
+  int threads() const;
+
   /// Encrypts a real vector at top level / default scale.
   fhe::Ciphertext encrypt(const std::vector<double>& values);
   /// Decrypts + decodes.

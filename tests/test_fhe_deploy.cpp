@@ -80,7 +80,10 @@ TEST_F(DeployTest, EncryptedPafReluMatchesPlaintext) {
   const auto res = smartpaf::measure_paf_relu(*rt_, paf, scale, /*repeats=*/1);
   EXPECT_LT(res.max_error, 0.05);
   EXPECT_GT(res.ms_median, 0.0);
-  EXPECT_EQ(res.stats.ct_mults, res.stats.relins);
+  // Under lazy relinearization some window products defer their relin to a
+  // shared join, so relins never exceed mults and deferrals cover the gap.
+  EXPECT_LE(res.stats.relins, res.stats.ct_mults);
+  EXPECT_GE(res.stats.relins + res.stats.relins_deferred, res.stats.ct_mults);
 }
 
 TEST_F(DeployTest, ReluLevelsAreDepthPlusTwo) {
