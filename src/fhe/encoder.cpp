@@ -105,6 +105,34 @@ Plaintext Encoder::encode_scalar(double value, double scale, int q_count) const 
   return pt;
 }
 
+std::vector<double> Encoder::pack_slots(const std::vector<std::vector<double>>& inputs,
+                                        std::size_t stride, std::size_t slot_count) {
+  sp::check(stride >= 1, "Encoder::pack_slots: stride must be >= 1");
+  sp::check(inputs.size() * stride <= slot_count,
+            "Encoder::pack_slots: batch does not fit the slot budget");
+  std::vector<double> flat(slot_count, 0.0);
+  for (std::size_t b = 0; b < inputs.size(); ++b) {
+    sp::check(inputs[b].size() <= stride, "Encoder::pack_slots: input exceeds stride");
+    for (std::size_t j = 0; j < inputs[b].size(); ++j) flat[b * stride + j] = inputs[b][j];
+  }
+  return flat;
+}
+
+std::vector<std::vector<double>> Encoder::unpack_slots(const std::vector<double>& slots,
+                                                       std::size_t stride,
+                                                       std::size_t count,
+                                                       std::size_t len) {
+  if (len == 0) len = stride;
+  sp::check(len <= stride, "Encoder::unpack_slots: len exceeds stride");
+  sp::check(count == 0 || (count - 1) * stride + len <= slots.size(),
+            "Encoder::unpack_slots: slice range exceeds the slot vector");
+  std::vector<std::vector<double>> out(count);
+  for (std::size_t b = 0; b < count; ++b)
+    out[b].assign(slots.begin() + static_cast<std::ptrdiff_t>(b * stride),
+                  slots.begin() + static_cast<std::ptrdiff_t>(b * stride + len));
+  return out;
+}
+
 std::int64_t Encoder::crt_centered(const std::vector<u64>& residues, int q_count) const {
   // Garner mixed-radix digits t_k; value = sum_k t_k * prod_{m<k} q_m.
   const auto L = static_cast<std::size_t>(q_count);

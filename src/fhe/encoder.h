@@ -39,6 +39,34 @@ class Encoder {
   /// Inverse of encode() for a decrypted plaintext.
   std::vector<double> decode(const Plaintext& pt) const;
 
+  /// @brief Packs B independent request vectors into one strided slot vector.
+  ///
+  /// Request b occupies slots [b*stride, b*stride + inputs[b].size());
+  /// unused slots stay zero. This is the batching layout consumed by
+  /// `smartpaf::BatchRunner`: one ciphertext carries every request, so each
+  /// SIMD evaluator op serves all of them at once.
+  ///
+  /// @param inputs  per-request value vectors, each of size <= stride
+  /// @param stride  slots reserved per request (inputs.size() * stride must
+  ///                fit in slot_count)
+  /// @param slot_count  total slots of the target ciphertext (N/2)
+  /// @return flat slot vector of size slot_count, ready for encode()
+  static std::vector<double> pack_slots(const std::vector<std::vector<double>>& inputs,
+                                        std::size_t stride, std::size_t slot_count);
+
+  /// @brief Inverse of pack_slots: splits a decoded slot vector back into
+  /// per-request slices.
+  ///
+  /// @param slots   decoded flat slot vector
+  /// @param stride  slots per request (same value given to pack_slots)
+  /// @param count   number of requests to extract
+  /// @param len     values to keep per request (defaults to the full stride)
+  /// @return `count` vectors of size `len` (len = 0 means stride)
+  static std::vector<std::vector<double>> unpack_slots(const std::vector<double>& slots,
+                                                       std::size_t stride,
+                                                       std::size_t count,
+                                                       std::size_t len = 0);
+
  private:
   /// In-place radix-2 complex FFT of size 2N; `invert` flips the kernel sign.
   void fft(std::vector<std::complex<double>>& a, bool invert) const;

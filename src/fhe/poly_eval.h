@@ -31,6 +31,32 @@ struct EvalStats {
   /// the relinearizations actually performed, so under lazy relin
   /// relins <= ct_mults <= relins + relins_deferred.
   int relins_deferred = 0;
+
+  /// Amortized per-input view of one evaluation that served a slot-packed
+  /// batch: every figure divides by the batch size, because a packed
+  /// ciphertext pays each homomorphic op once for all B requests.
+  struct PerInput {
+    double ct_mults = 0.0;
+    double relins = 0.0;
+    double rescales = 0.0;
+    double plain_mults = 0.0;
+    double wall_ms = 0.0;
+  };
+
+  /// @brief Divides the executed counts by `batch_size` packed inputs —
+  /// the latency-vs-throughput figure batching benchmarks report.
+  /// @param batch_size  requests packed in the evaluated ciphertext (>= 1)
+  /// @return per-input ct-mult/relin/rescale/plain-mult counts and wall time
+  PerInput per_input(int batch_size) const {
+    const double b = batch_size < 1 ? 1.0 : static_cast<double>(batch_size);
+    PerInput out;
+    out.ct_mults = ct_mults / b;
+    out.relins = relins / b;
+    out.rescales = rescales / b;
+    out.plain_mults = plain_mults / b;
+    out.wall_ms = wall_ms / b;
+    return out;
+  }
 };
 
 /// Memoized power cache for one evaluation input: x^e is built on demand via
@@ -44,25 +70,43 @@ struct EvalStats {
 class PowerBasis {
  public:
   PowerBasis() = default;
+
+  /// @brief Seeds the basis with input `x` (equivalent to default-construct
+  /// + reset()).
+  /// @param ctx    CKKS context (must outlive the basis)
+  /// @param relin  relinearization key used when building powers
+  /// @param x      the evaluation input; cached as power(1)
   PowerBasis(const CkksContext& ctx, const KSwitchKey& relin, const Ciphertext& x) {
     reset(ctx, relin, x);
   }
 
+  /// @brief True once the basis has been seeded with an input.
   bool initialized() const { return ctx_ != nullptr; }
-  /// Drops all cached powers and re-seeds the basis with a new input.
+
+  /// @brief Drops all cached powers and re-seeds the basis with a new input.
+  /// @param ctx    CKKS context
+  /// @param relin  relinearization key
+  /// @param x      new evaluation input
   void reset(const CkksContext& ctx, const KSwitchKey& relin, const Ciphertext& x);
 
-  /// The basis input x (= power(1)).
+  /// @brief The basis input x (= power(1)).
   const Ciphertext& x() const { return pow_.at(1); }
 
-  /// x^e (e >= 1), computing and caching any missing intermediate powers.
+  /// @brief x^e, computing and caching any missing intermediate powers.
+  /// @param ev     evaluator to run the multiplications on
+  /// @param e      exponent (>= 1)
+  /// @param stats  optional tally for the ct-ct mults/relins/rescales spent
+  /// @return cached ciphertext at level x.level() - ceil(log2 e)
   const Ciphertext& power(Evaluator& ev, int e, EvalStats* stats = nullptr);
 
+  /// @brief Whether x^e is already cached (no cost to fetch).
   bool has(int e) const { return pow_.count(e) != 0; }
-  /// Exponents currently cached (always includes 1). Used by the evaluation
-  /// planner so already-paid-for powers count as free.
+
+  /// @brief Exponents currently cached (always includes 1). Used by the
+  /// evaluation planner so already-paid-for powers count as free.
   std::vector<int> cached_exponents() const;
-  /// Total ct-ct multiplications spent building this basis so far.
+
+  /// @brief Total ct-ct multiplications spent building this basis so far.
   int mults_spent() const { return mults_spent_; }
 
  private:
@@ -92,61 +136,97 @@ class PafEvaluator {
  public:
   enum class Strategy { Ladder, BSGS };
 
+  /// @brief Binds the evaluator to its context, encoder and relin key.
+  /// @param ctx        CKKS context (must outlive the evaluator)
+  /// @param encoder    encoder used for coefficient plaintexts
+  /// @param relin_key  relinearization key for ct-ct products
+  /// @param strategy   initial schedule (BSGS by default; see class docs)
   PafEvaluator(const CkksContext& ctx, const Encoder& encoder, const KSwitchKey& relin_key,
                Strategy strategy = Strategy::BSGS)
       : ctx_(&ctx), encoder_(&encoder), relin_(&relin_key), strategy_(strategy) {}
 
+  /// @brief Currently selected evaluation schedule.
   Strategy strategy() const { return strategy_; }
+  /// @brief Switches between the Ladder and BSGS schedules.
   void set_strategy(Strategy s) { strategy_ = s; }
 
-  /// Lazy relinearization (default on): ct-ct products inside a window stay
-  /// 3-part, block sums accumulate via the evaluator's 3-part-aware
-  /// `add_inplace`, and one relinearization is paid per giant-step join (and
-  /// once at the end) instead of one per multiplication. Turn off to get
-  /// the eager schedule (one relin per ct-ct mult), e.g. for comparisons.
+  /// @brief Whether lazy relinearization is on (default on): ct-ct products
+  /// inside a window stay 3-part, block sums accumulate via the evaluator's
+  /// 3-part-aware add_inplace(), and one relinearization is paid per
+  /// giant-step join (and once at the end) instead of one per
+  /// multiplication.
   bool lazy_relin() const { return lazy_relin_; }
+  /// @brief Toggles lazy relinearization. Turn off to get the eager
+  /// schedule (one relin per ct-ct mult), e.g. for comparisons.
   void set_lazy_relin(bool lazy) { lazy_relin_ = lazy; }
 
-  /// p(x) for a general dense polynomial (degree >= 1).
+  /// @brief p(x) for a general dense polynomial (degree >= 1).
+  /// @param ev     evaluator to run on
+  /// @param x      input ciphertext
+  /// @param p      dense coefficient polynomial
+  /// @param stats  optional op/level/latency tally for this evaluation
+  /// @return p(x) at level x.level() - mult_depth(p), scale ~Delta
   Ciphertext eval_poly(Evaluator& ev, const Ciphertext& x, const approx::Polynomial& p,
                        EvalStats* stats = nullptr) const;
 
-  /// Same, reusing (and extending) a caller-held power basis for x.
+  /// @brief Same, reusing (and extending) a caller-held power basis for x.
+  /// @param basis  initialized basis whose x() is the evaluation input;
+  ///               powers already cached count as free for the planner
   Ciphertext eval_poly(Evaluator& ev, PowerBasis& basis, const approx::Polynomial& p,
                        EvalStats* stats = nullptr) const;
 
-  /// Composite PAF evaluation, stage by stage.
+  /// @brief Composite PAF evaluation, stage by stage.
+  /// @param ev     evaluator to run on
+  /// @param x      input ciphertext
+  /// @param paf    stage chain, applied left-to-right
+  /// @param stats  optional tally accumulated across all stages
   Ciphertext eval_composite(Evaluator& ev, const Ciphertext& x,
                             const approx::CompositePaf& paf,
                             EvalStats* stats = nullptr) const;
 
-  /// Same, reusing a caller-held basis for the first stage's input (later
-  /// stages consume fresh intermediate ciphertexts and build their own).
+  /// @brief Same, reusing a caller-held basis for the first stage's input
+  /// (later stages consume fresh intermediate ciphertexts and build their
+  /// own).
   Ciphertext eval_composite(Evaluator& ev, PowerBasis& basis,
                             const approx::CompositePaf& paf,
                             EvalStats* stats = nullptr) const;
 
-  /// relu(x) ≈ 0.5 x (1 + paf(x / input_scale)) — the Static-Scaling
-  /// deployment form (paper §4.5): `input_scale` is the frozen running max.
+  /// @brief relu(x) ≈ 0.5 x (1 + paf(x / input_scale)) — the Static-Scaling
+  /// deployment form (paper §4.5).
   ///
-  /// `basis_cache`, when given, carries the scaled input's power basis for
-  /// the *first stage* across repeated calls (x, x^2, x^4, ... built once;
-  /// later stages consume fresh intermediates and still rebuild theirs).
-  /// Contract: an initialized cache must come from a previous call with the
-  /// SAME ciphertext and input_scale — the scaled input is not recomputed on
-  /// reuse, so a mismatched cache silently evaluates the wrong input. A
-  /// level mismatch is caught, content mismatches are the caller's duty.
+  /// @param ev           evaluator to run on
+  /// @param x            input ciphertext (pre-activation values)
+  /// @param paf          sign-approximating composite PAF
+  /// @param input_scale  the frozen running max; x is divided by it so the
+  ///                     PAF sees values in its accurate range
+  /// @param stats        optional op/level/latency tally
+  /// @param basis_cache  when given, carries the scaled input's power basis
+  ///     for the *first stage* across repeated calls (x, x^2, x^4, ...
+  ///     built once; later stages consume fresh intermediates and still
+  ///     rebuild theirs). Contract: an initialized cache must come from a
+  ///     previous call with the SAME ciphertext and input_scale — the
+  ///     scaled input is not recomputed on reuse, so a mismatched cache
+  ///     silently evaluates the wrong input. A level mismatch is caught,
+  ///     content mismatches are the caller's duty.
+  /// @return the PAF-ReLU of every slot, paf.mult_depth() + 2 levels below x
   Ciphertext relu(Evaluator& ev, const Ciphertext& x, const approx::CompositePaf& paf,
                   double input_scale, EvalStats* stats = nullptr,
                   PowerBasis* basis_cache = nullptr) const;
 
-  /// max(a,b) ≈ 0.5 (a + b) + 0.5 (a-b) paf((a-b)/input_scale).
+  /// @brief max(a,b) ≈ 0.5 (a + b) + 0.5 (a-b) paf((a-b)/input_scale).
+  /// @param a            first operand
+  /// @param b            second operand (same level/scale as `a`)
+  /// @param paf          sign-approximating composite PAF
+  /// @param input_scale  frozen bound on |a-b|
+  /// @param stats        optional op/level/latency tally
+  /// @param basis_cache  same contract as relu(): must come from a previous
+  ///                     call with the same (a, b, input_scale)
   Ciphertext max(Evaluator& ev, const Ciphertext& a, const Ciphertext& b,
                  const approx::CompositePaf& paf, double input_scale,
                  EvalStats* stats = nullptr, PowerBasis* basis_cache = nullptr) const;
 
-  /// Multiplication depth eval_poly consumes for `p` (both strategies consume
-  /// exactly the ladder bound ceil(log2(deg+1))).
+  /// @brief Multiplication depth eval_poly consumes for `p` (both
+  /// strategies consume exactly the ladder bound ceil(log2(deg+1))).
   static int mult_depth(const approx::Polynomial& p);
 
  private:

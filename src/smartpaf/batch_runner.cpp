@@ -1,0 +1,183 @@
+#include "smartpaf/batch_runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace sp::smartpaf {
+
+BatchRunner::BatchRunner(FheRuntime& rt, BatchConfig cfg)
+    : rt_(&rt), cfg_(std::move(cfg)) {
+  const auto slots = static_cast<int>(rt_->ctx().slot_count());
+  sp::check(cfg_.input_size >= 1, "BatchRunner: input_size must be >= 1");
+  sp::check(cfg_.input_size <= slots, "BatchRunner: input_size exceeds the slot count");
+  sp::check(!cfg_.paf.stages().empty(), "BatchRunner: config needs a PAF");
+  sp::check(cfg_.input_scale > 0, "BatchRunner: input_scale must be positive");
+  sp::check(cfg_.window.size() <= static_cast<std::size_t>(slots),
+            "BatchRunner: window wider than the slot count");
+  capacity_ = slots / cfg_.input_size;
+
+  const int depth_needed = (cfg_.window.empty() ? 0 : 1) + cfg_.paf.mult_depth() + 2;
+  sp::check_fmt(rt_->ctx().q_count() - 1 >= depth_needed,
+                "BatchRunner: pipeline needs ", depth_needed, " levels but the chain has ",
+                rt_->ctx().q_count() - 1);
+
+  for (std::size_t t = 1; t < cfg_.window.size(); ++t)
+    window_steps_.push_back(static_cast<int>(t));
+  if (!window_steps_.empty()) window_keys_ = rt_->galois_keys(window_steps_);
+}
+
+fhe::Ciphertext BatchRunner::eval_packed(const fhe::Ciphertext& packed,
+                                         fhe::EvalStats* stats) {
+  fhe::Evaluator& ev = rt_->evaluator();
+  fhe::Ciphertext cur = packed;
+
+  if (!cfg_.window.empty()) {
+    // Window stage: acc = sum_t w[t] * rot(x, t). The fan shares one
+    // hoisted decomposition; tap 0 needs no rotation at all. One rescale
+    // returns the sum to ~Delta (all taps were scaled identically).
+    std::vector<fhe::Ciphertext> rotated;
+    if (!window_steps_.empty()) rotated = ev.rotate_hoisted(cur, window_steps_, window_keys_);
+
+    const double delta = rt_->ctx().scale();
+    fhe::Ciphertext acc = cur;
+    ev.multiply_plain_inplace(
+        acc, rt_->encoder().encode_scalar(cfg_.window[0], delta, acc.q_count()));
+    for (std::size_t t = 1; t < cfg_.window.size(); ++t) {
+      fhe::Ciphertext& term = rotated[t - 1];
+      ev.multiply_plain_inplace(
+          term, rt_->encoder().encode_scalar(cfg_.window[t], delta, term.q_count()));
+      ev.add_inplace(acc, term);
+    }
+    ev.rescale_inplace(acc);
+    cur = acc;
+  }
+
+  return rt_->paf_evaluator().relu(ev, cur, cfg_.paf, cfg_.input_scale, stats);
+}
+
+std::vector<double> BatchRunner::reference(const std::vector<double>& flat) const {
+  const std::size_t slots = flat.size();
+  std::vector<double> y = flat;
+  if (!cfg_.window.empty()) {
+    for (std::size_t j = 0; j < slots; ++j) {
+      double acc = 0.0;
+      for (std::size_t t = 0; t < cfg_.window.size(); ++t)
+        acc += cfg_.window[t] * flat[(j + t) % slots];
+      y[j] = acc;
+    }
+  }
+  for (double& v : y)
+    v = approx::paf_relu(cfg_.paf, v / cfg_.input_scale) * cfg_.input_scale;
+  return y;
+}
+
+BatchRunner::Result BatchRunner::run_packed(const std::vector<std::vector<double>>& inputs,
+                                            std::vector<std::uint64_t> ids) {
+  sp::check(!inputs.empty(), "BatchRunner::run: empty batch");
+  sp::check_fmt(inputs.size() <= static_cast<std::size_t>(capacity_),
+                "BatchRunner::run: batch of ", inputs.size(), " exceeds capacity ",
+                capacity_);
+
+  Result res;
+  res.ids = std::move(ids);
+  res.stats.batch_size = static_cast<int>(inputs.size());
+  res.stats.capacity = capacity_;
+  fhe::Evaluator& ev = rt_->evaluator();
+  const fhe::OpCounters before = ev.counters;
+
+  sp::Timer timer;
+  const std::vector<double> flat = fhe::Encoder::pack_slots(
+      inputs, static_cast<std::size_t>(cfg_.input_size), rt_->ctx().slot_count());
+  res.stats.pack_ms = timer.ms();
+
+  timer.reset();
+  const fhe::Ciphertext packed = rt_->encrypt(flat);
+  res.stats.encrypt_ms = timer.ms();
+
+  timer.reset();
+  const fhe::Ciphertext out = eval_packed(packed, &res.stats.eval);
+  res.stats.eval_ms = timer.ms();
+
+  timer.reset();
+  const std::vector<double> got = rt_->decrypt(out);
+  res.outputs = fhe::Encoder::unpack_slots(got, static_cast<std::size_t>(cfg_.input_size),
+                                           inputs.size());
+  res.stats.decrypt_ms = timer.ms();
+  res.stats.ops = ev.counters.delta_since(before);
+
+  const std::vector<double> ref = reference(flat);
+  res.max_error.assign(inputs.size(), 0.0);
+  for (std::size_t b = 0; b < inputs.size(); ++b)
+    for (int j = 0; j < cfg_.input_size; ++j) {
+      const std::size_t slot = b * static_cast<std::size_t>(cfg_.input_size) +
+                               static_cast<std::size_t>(j);
+      res.max_error[b] = std::max(
+          res.max_error[b], std::abs(res.outputs[b][static_cast<std::size_t>(j)] - ref[slot]));
+    }
+  return res;
+}
+
+BatchRunner::Result BatchRunner::run(const std::vector<std::vector<double>>& inputs) {
+  std::vector<std::uint64_t> ids(inputs.size());
+  for (std::size_t b = 0; b < ids.size(); ++b) ids[b] = b;
+  return run_packed(inputs, std::move(ids));
+}
+
+std::uint64_t BatchRunner::submit(std::vector<double> input) {
+  sp::check(input.size() <= static_cast<std::size_t>(cfg_.input_size),
+            "BatchRunner::submit: input exceeds input_size");
+  queue_.emplace_back(next_id_, std::move(input));
+  return next_id_++;
+}
+
+std::vector<BatchRunner::Result> BatchRunner::drain() {
+  std::vector<Result> results;
+  while (!queue_.empty()) {
+    const std::size_t take =
+        std::min(queue_.size(), static_cast<std::size_t>(capacity_));
+    std::vector<std::vector<double>> inputs;
+    std::vector<std::uint64_t> ids;
+    inputs.reserve(take);
+    ids.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      ids.push_back(queue_.front().first);
+      inputs.push_back(std::move(queue_.front().second));
+      queue_.pop_front();
+    }
+    results.push_back(run_packed(inputs, std::move(ids)));
+  }
+  return results;
+}
+
+std::vector<fhe::Ciphertext> BatchRunner::extract(const fhe::Ciphertext& packed,
+                                                  const std::vector<int>& requests) {
+  fhe::Evaluator& ev = rt_->evaluator();
+  std::vector<int> steps;
+  steps.reserve(requests.size());
+  std::vector<int> missing_steps;
+  for (int b : requests) {
+    sp::check_fmt(b >= 0 && b < capacity_, "BatchRunner::extract: request ", b,
+                  " out of range [0, ", capacity_, ")");
+    const int step = b * cfg_.input_size;
+    steps.push_back(step);
+    // Step 0 reuses the source; keys for other strides are generated once
+    // and cached for the runner's lifetime.
+    if (step != 0 && extract_keys_.keys.count(ev.galois_element(step)) == 0)
+      missing_steps.push_back(step);
+  }
+  if (!missing_steps.empty()) {
+    fhe::GaloisKeys fresh = rt_->galois_keys(missing_steps);
+    for (auto& kv : fresh.keys) extract_keys_.keys.emplace(kv.first, std::move(kv.second));
+  }
+
+  // All-identity fans (extract of request 0 only) skip the decomposition
+  // entirely — hoisting would be pure waste.
+  if (std::all_of(steps.begin(), steps.end(), [](int s) { return s == 0; }))
+    return std::vector<fhe::Ciphertext>(steps.size(), packed);
+  return ev.rotate_hoisted(packed, steps, extract_keys_);
+}
+
+}  // namespace sp::smartpaf

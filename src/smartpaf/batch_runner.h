@@ -1,0 +1,171 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "approx/composite.h"
+#include "smartpaf/fhe_deploy.h"
+
+namespace sp::smartpaf {
+
+/// @brief Configuration of a BatchRunner: the packing geometry and the
+/// (fixed) encrypted pipeline applied to every packed ciphertext.
+///
+/// The pipeline is `window -> PAF-ReLU`: an optional pre-activation sliding
+/// window (a 1-D convolution realized as a hoisted rotation fan — the
+/// conv/pooling-style rotation pattern) followed by the Static-Scaling
+/// PAF-ReLU. Both run once per packed ciphertext, so every homomorphic op is
+/// amortized across the batch.
+struct BatchConfig {
+  /// Slots reserved per request; capacity = slot_count / input_size.
+  int input_size = 1;
+  /// Sign-approximating composite PAF for the activation.
+  approx::CompositePaf paf;
+  /// Static-Scaling running max: the activation sees x / input_scale.
+  double input_scale = 1.0;
+  /// Optional pre-activation window taps w[0..k-1]: slot j becomes
+  /// sum_t w[t] * x[j + t] before the activation (cyclic over the whole
+  /// slot vector, so the last k-1 slots of each request blend into the next
+  /// request — callers that need clean request boundaries keep
+  /// `input_size - window.size() + 1` "valid" outputs per request, exactly
+  /// like a valid-mode convolution). Empty = activation only.
+  std::vector<double> window;
+};
+
+/// @brief Cost breakdown of one packed-ciphertext pipeline, with the
+/// amortized per-input views that batching exists to improve.
+struct BatchStats {
+  int batch_size = 0;  ///< requests packed into the ciphertext
+  int capacity = 0;    ///< slot_count / input_size of the runner
+
+  double pack_ms = 0.0;     ///< slot packing (plain CPU)
+  double encrypt_ms = 0.0;  ///< encode + encrypt of the packed vector
+  double eval_ms = 0.0;     ///< window fan + PAF-ReLU under CKKS
+  double decrypt_ms = 0.0;  ///< decrypt + decode + unpack
+
+  /// PAF-evaluation stats for the whole packed ciphertext (the window fan is
+  /// visible in `ops`, not here: EvalStats tracks the polynomial evaluator).
+  fhe::EvalStats eval;
+  /// Evaluator counter delta across the whole pipeline (rotations, relins,
+  /// NTTs, ...), i.e. everything the batch paid once regardless of B.
+  fhe::OpCounters ops;
+
+  /// @brief End-to-end wall time of the packed pipeline.
+  double total_ms() const { return pack_ms + encrypt_ms + eval_ms + decrypt_ms; }
+  /// @brief Amortized end-to-end latency per request.
+  double ms_per_input() const {
+    return total_ms() / (batch_size < 1 ? 1.0 : static_cast<double>(batch_size));
+  }
+  /// @brief Amortized PAF-evaluation figures per request.
+  fhe::EvalStats::PerInput eval_per_input() const { return eval.per_input(batch_size); }
+  /// @brief Amortized evaluator op counts per request (rotations/relins/...).
+  fhe::OpCountersPerInput ops_per_input() const {
+    return fhe::per_input(ops, batch_size);
+  }
+};
+
+/// @brief Batched private-inference front end: packs B independent requests
+/// across the CKKS slots of ONE ciphertext, shares one FheRuntime (keys, NTT
+/// tables, Galois keys) across all of them, evaluates the pipeline once per
+/// packed ciphertext, and unpacks per-request results with per-request error
+/// stats.
+///
+/// Why this is the serving-scale lever: every homomorphic op on a packed
+/// ciphertext acts on all N/2 slots at once, so its cost divides by the
+/// batch size. The rotation fan of the window stage additionally routes
+/// through `Evaluator::rotate_hoisted` — one key-switch digit decomposition
+/// serves the whole fan (PR 2's HoistedDecomposition), and that single
+/// decomposition is itself amortized across the batch.
+///
+/// Thread-pool sizing: one packed evaluation already fans its NTT batches
+/// and key-switch digits across the SMARTPAF_THREADS pool, so `drain()`
+/// processes groups sequentially — each group saturates the pool on its own,
+/// and sequential groups keep results independent of pool size.
+class BatchRunner {
+ public:
+  /// @brief Result of one packed-ciphertext pipeline.
+  struct Result {
+    /// Ticket ids, in packing order (run(): 0..B-1; drain(): submit ids).
+    std::vector<std::uint64_t> ids;
+    /// Per-request outputs, `input_size` values each.
+    std::vector<std::vector<double>> outputs;
+    /// Per-request max abs deviation from the plaintext pipeline reference.
+    std::vector<double> max_error;
+    /// Whole-ciphertext cost plus the amortized per-input views.
+    BatchStats stats;
+  };
+
+  /// @brief Binds the runner to a shared runtime and validates the config.
+  ///
+  /// Generates the window stage's Galois keys (steps 1..k-1) once; requests
+  /// never pay keygen. The runtime's prime chain must cover the pipeline
+  /// depth: (window ? 1 : 0) + paf.mult_depth() + 2 levels.
+  /// @param rt   shared CKKS machinery (must outlive the runner)
+  /// @param cfg  packing geometry + pipeline
+  BatchRunner(FheRuntime& rt, BatchConfig cfg);
+
+  /// @brief Requests that fit one packed ciphertext (slot_count / input_size).
+  int capacity() const { return capacity_; }
+  /// @brief Slots reserved per request.
+  int input_size() const { return cfg_.input_size; }
+  const BatchConfig& config() const { return cfg_; }
+
+  /// @brief Synchronous batched evaluation: packs `inputs` into one
+  /// ciphertext, runs the pipeline once, and unpacks per-request results.
+  /// @param inputs  1..capacity() request vectors, each of size <=
+  ///                input_size (short inputs are zero-padded)
+  /// @return per-request outputs/errors plus whole-batch and per-input stats
+  Result run(const std::vector<std::vector<double>>& inputs);
+
+  /// @brief Queues one request for the next drain().
+  /// @param input  request values, size <= input_size
+  /// @return ticket id to match against Result::ids
+  std::uint64_t submit(std::vector<double> input);
+
+  /// @brief Requests currently queued.
+  std::size_t pending() const { return queue_.size(); }
+
+  /// @brief Packs the queue into full-capacity groups and evaluates them
+  /// (last group may be partial). Requests keep submission order, so
+  /// Result::ids are ascending across the returned groups.
+  /// @return one Result per packed ciphertext evaluated; empty if idle
+  std::vector<Result> drain();
+
+  /// @brief Extracts per-request ciphertexts from a packed result without
+  /// decrypting: request b's slice is rotated to slot 0 via ONE hoisted
+  /// decomposition shared by the whole fan.
+  ///
+  /// All requests share the batch key, so slots >= input_size of an
+  /// extracted ciphertext still hold neighbouring requests' data — mask (one
+  /// plaintext mult) before handing a slice to a party that must not see the
+  /// rest of the batch.
+  /// @param packed   a packed pipeline output (2-part ciphertext)
+  /// @param requests batch positions to extract (0-based, < capacity());
+  ///                 rotation keys for the needed strides are generated on
+  ///                 first use and cached for the runner's lifetime
+  /// @return one ciphertext per requested position, its slice at slots
+  ///         [0, input_size)
+  std::vector<fhe::Ciphertext> extract(const fhe::Ciphertext& packed,
+                                       const std::vector<int>& requests);
+
+ private:
+  /// Runs window + PAF-ReLU on a packed ciphertext.
+  fhe::Ciphertext eval_packed(const fhe::Ciphertext& packed, fhe::EvalStats* stats);
+  /// Plaintext reference of the pipeline over a packed slot vector.
+  std::vector<double> reference(const std::vector<double>& flat) const;
+  /// Shared pack -> encrypt -> eval -> decrypt -> unpack path.
+  Result run_packed(const std::vector<std::vector<double>>& inputs,
+                    std::vector<std::uint64_t> ids);
+
+  FheRuntime* rt_;
+  BatchConfig cfg_;
+  int capacity_ = 0;
+  std::vector<int> window_steps_;  ///< 1..k-1, fixed for the runner's lifetime
+  fhe::GaloisKeys window_keys_;    ///< keys for window_steps_, from the ctor
+  fhe::GaloisKeys extract_keys_;   ///< stride keys, cached on first extract()
+  std::deque<std::pair<std::uint64_t, std::vector<double>>> queue_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace sp::smartpaf

@@ -13,27 +13,43 @@ namespace sp::smartpaf {
 /// reuse one runtime across measurements.
 class FheRuntime {
  public:
+  /// @brief Builds the whole CKKS stack: context, keygen (secret/public/
+  /// relin keys), encoder, encryptor/decryptor, evaluator, PAF evaluator.
+  /// @param params  CKKS parameter set (ring size, prime chain, scale)
+  /// @param seed    keygen/encryption randomness (deterministic runs)
   explicit FheRuntime(const fhe::CkksParams& params, std::uint64_t seed = 2024);
 
+  /// @brief The precomputed context shared by every component.
   const fhe::CkksContext& ctx() const { return *ctx_; }
+  /// @brief Canonical-embedding encoder (N/2 real slots).
   fhe::Encoder& encoder() { return *encoder_; }
+  /// @brief Public-key encryptor.
   fhe::Encryptor& encryptor() { return *encryptor_; }
+  /// @brief Secret-key decryptor.
   fhe::Decryptor& decryptor() { return *decryptor_; }
+  /// @brief Leveled evaluator (also owns the process-wide OpCounters tally).
   fhe::Evaluator& evaluator() { return *evaluator_; }
+  /// @brief Polynomial/PAF evaluator bound to this runtime's relin key.
   fhe::PafEvaluator& paf_evaluator() { return *paf_eval_; }
+  /// @brief Relinearization key generated at construction.
   const fhe::KSwitchKey& relin_key() const { return *relin_; }
 
-  /// Rotation keys for the given slot steps (keygen on demand). Use with
-  /// `Evaluator::rotate` / `rotate_hoisted` for rotation-heavy layers.
+  /// @brief Rotation keys for the given slot steps (keygen on demand). Use
+  /// with `Evaluator::rotate` / `rotate_hoisted` for rotation-heavy layers.
+  /// @param steps  slot offsets (positive = left); duplicates are fine
+  /// @return keys indexed by Galois element, one per distinct step
   fhe::GaloisKeys galois_keys(const std::vector<int>& steps);
 
-  /// Lanes of the process-wide pool serving this runtime's hot loops
+  /// @brief Lanes of the process-wide pool serving this runtime's hot loops
   /// (SMARTPAF_THREADS).
   int threads() const;
 
-  /// Encrypts a real vector at top level / default scale.
+  /// @brief Encrypts a real vector at top level / default scale.
+  /// @param values  up to slot_count() reals; remaining slots are zero
   fhe::Ciphertext encrypt(const std::vector<double>& values);
-  /// Decrypts + decodes.
+
+  /// @brief Decrypts + decodes back to one value per slot.
+  /// @param ct  2-part ciphertext (relinearize 3-part results first)
   std::vector<double> decrypt(const fhe::Ciphertext& ct);
 
  private:
@@ -56,10 +72,17 @@ struct PafLatencyResult {
   double max_error = 0.0;       ///< vs the plaintext PAF-ReLU reference
 };
 
-/// Times the homomorphic PAF-ReLU (paper Table 4 / Fig. 1 latency column):
-/// encrypts a random batch spanning [-input_scale, input_scale], evaluates
-/// relu(x) ≈ 0.5 x (1 + paf(x/s)) `repeats` times and checks the result
-/// against the plaintext computation.
+/// @brief Times the homomorphic PAF-ReLU (paper Table 4 / Fig. 1 latency
+/// column): encrypts a random batch spanning [-input_scale, input_scale],
+/// evaluates relu(x) ≈ 0.5 x (1 + paf(x/s)) `repeats` times and checks the
+/// result against the plaintext computation.
+/// @param rt           shared runtime (construction is the expensive part)
+/// @param paf          sign-approximating composite PAF
+/// @param input_scale  Static-Scaling running max (> 0)
+/// @param repeats      cold-path repetitions; >= 2 also measures the warm
+///                     shared-PowerBasis path
+/// @param seed         input randomness
+/// @return median/best cold latency, warm latency, op stats and max error
 PafLatencyResult measure_paf_relu(FheRuntime& rt, const approx::CompositePaf& paf,
                                   double input_scale, int repeats = 3,
                                   std::uint64_t seed = 7);
@@ -72,9 +95,12 @@ struct DeployRow {
   double ms = 0.0;
 };
 
-/// Measures every PAF layer of a Static-Scaling model on the runtime and
-/// returns per-layer rows (MaxPool layers report the per-pairwise-max cost
-/// times the tournament size).
+/// @brief Measures every PAF layer of a Static-Scaling model on the runtime
+/// and returns per-layer rows (MaxPool layers report the per-pairwise-max
+/// cost times the tournament size).
+/// @param model    converted model whose PAF layers carry static scales
+/// @param rt       shared runtime
+/// @param repeats  cold-path repetitions per layer
 std::vector<DeployRow> deployment_report(nn::Model& model, FheRuntime& rt,
                                          int repeats = 1);
 

@@ -1,0 +1,234 @@
+// BatchRunner correctness net: pack/unpack round-trips, per-input parity of
+// the batched pipeline against the unbatched PafEvaluator, amortization of
+// the op counters (per-ciphertext costs must NOT scale with the batch), the
+// submit/drain queue, and hoisted encrypted extraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "smartpaf/batch_runner.h"
+
+namespace {
+
+using namespace sp;
+using namespace sp::fhe;
+
+const double kParityTol = std::ldexp(1.0, -20);
+
+/// Odd degree-7 single-stage PAF: depth 3, so window(1) + relu(3+2) fits the
+/// depth-6 test chain with room to spare.
+approx::CompositePaf test_paf() {
+  sp::Rng rng(41);
+  std::vector<double> c(8, 0.0);
+  for (int k = 1; k <= 7; k += 2) c[static_cast<std::size_t>(k)] = rng.uniform(-1.0, 1.0) / 8.0;
+  return approx::CompositePaf("deg7", {approx::Polynomial(c)});
+}
+
+std::vector<std::vector<double>> random_batch(int count, int len, std::uint64_t seed,
+                                              double lo = -1.0, double hi = 1.0) {
+  sp::Rng rng(seed);
+  std::vector<std::vector<double>> batch(static_cast<std::size_t>(count));
+  for (auto& v : batch) {
+    v.resize(static_cast<std::size_t>(len));
+    for (auto& x : v) x = rng.uniform(lo, hi);
+  }
+  return batch;
+}
+
+class BatchRunnerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rt_ = std::make_unique<smartpaf::FheRuntime>(CkksParams::for_depth(2048, 6, 40),
+                                                 /*seed=*/2027);
+  }
+  static void TearDownTestSuite() { rt_.reset(); }
+
+  static smartpaf::BatchConfig activation_cfg(int input_size) {
+    smartpaf::BatchConfig cfg;
+    cfg.input_size = input_size;
+    cfg.paf = test_paf();
+    cfg.input_scale = 2.0;
+    return cfg;
+  }
+
+  static std::unique_ptr<smartpaf::FheRuntime> rt_;
+};
+
+std::unique_ptr<smartpaf::FheRuntime> BatchRunnerTest::rt_;
+
+TEST(BatchPacking, PackUnpackIdentity) {
+  const std::size_t slots = 1024;
+  for (int b : {1, 2, static_cast<int>(slots) / 2}) {
+    const std::size_t stride = slots / static_cast<std::size_t>(b);
+    const auto inputs = random_batch(b, static_cast<int>(stride), 100 + static_cast<std::uint64_t>(b));
+    const std::vector<double> flat = Encoder::pack_slots(inputs, stride, slots);
+    ASSERT_EQ(flat.size(), slots);
+    const auto back = Encoder::unpack_slots(flat, stride, static_cast<std::size_t>(b));
+    ASSERT_EQ(back.size(), inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      EXPECT_EQ(back[i], inputs[i]) << "B=" << b << " request " << i;
+  }
+}
+
+TEST(BatchPacking, ShortInputsZeroPadAndSliceLen) {
+  const auto flat = Encoder::pack_slots({{1.0, 2.0}, {3.0}}, 4, 16);
+  const std::vector<double> expect = {1, 2, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_EQ(flat, expect);
+  const auto sliced = Encoder::unpack_slots(flat, 4, 2, 2);
+  EXPECT_EQ(sliced[0], (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sliced[1], (std::vector<double>{3.0, 0.0}));
+}
+
+TEST(BatchPacking, RejectsOversizedBatch) {
+  EXPECT_THROW(Encoder::pack_slots(random_batch(3, 4, 1), 4, 8), sp::Error);
+  EXPECT_THROW(Encoder::pack_slots({{1.0, 2.0}}, 1, 8), sp::Error);
+}
+
+TEST_F(BatchRunnerTest, BatchedMatchesUnbatchedPafEvaluator) {
+  // Each request's batched slice must agree with evaluating that request
+  // alone through the plain PafEvaluator path (its own ciphertext).
+  const int input_size = static_cast<int>(rt_->ctx().slot_count()) / 4;
+  smartpaf::BatchRunner runner(*rt_, activation_cfg(input_size));
+  ASSERT_EQ(runner.capacity(), 4);
+
+  const auto inputs = random_batch(4, input_size, 7, -2.0, 2.0);
+  const auto res = runner.run(inputs);
+  ASSERT_EQ(res.outputs.size(), 4u);
+
+  const auto& cfg = runner.config();
+  for (std::size_t b = 0; b < inputs.size(); ++b) {
+    const Ciphertext alone = rt_->encrypt(inputs[b]);
+    const Ciphertext out = rt_->paf_evaluator().relu(rt_->evaluator(), alone, cfg.paf,
+                                                     cfg.input_scale);
+    const std::vector<double> unbatched = rt_->decrypt(out);
+    double worst = 0.0;
+    for (int j = 0; j < input_size; ++j)
+      worst = std::max(worst, std::abs(res.outputs[b][static_cast<std::size_t>(j)] -
+                                       unbatched[static_cast<std::size_t>(j)]));
+    EXPECT_LT(worst, kParityTol) << "request " << b;
+    EXPECT_LT(res.max_error[b], kParityTol) << "request " << b;
+  }
+}
+
+TEST_F(BatchRunnerTest, WindowPipelineMatchesPlaintextReference) {
+  smartpaf::BatchConfig cfg = activation_cfg(static_cast<int>(rt_->ctx().slot_count()) / 8);
+  cfg.window = {0.5, 0.3, 0.2};
+  smartpaf::BatchRunner runner(*rt_, cfg);
+
+  const auto inputs = random_batch(runner.capacity(), runner.input_size(), 8, -2.0, 2.0);
+  const auto res = runner.run(inputs);
+  for (std::size_t b = 0; b < inputs.size(); ++b)
+    EXPECT_LT(res.max_error[b], kParityTol) << "request " << b;
+  // The fan ran hoisted: one decomposition, window-1 rotations.
+  EXPECT_EQ(res.stats.ops.rotations.load(), 2u);
+  EXPECT_EQ(res.stats.ops.hoisted_rotations.load(), 2u);
+}
+
+TEST_F(BatchRunnerTest, CountersAmortizeAcrossBatchSizes) {
+  // The whole point of packing: per-ciphertext op counts are independent of
+  // B, so the per-input figures shrink as 1/B instead of staying flat.
+  const auto slots = static_cast<int>(rt_->ctx().slot_count());
+  smartpaf::BatchConfig cfg = activation_cfg(slots);  // B = 1
+  cfg.window = {0.25, 0.25, 0.25, 0.25};
+  smartpaf::BatchRunner one(*rt_, cfg);
+  const auto res1 = one.run(random_batch(1, slots, 9));
+
+  cfg.input_size = slots / 8;  // B = 8
+  smartpaf::BatchRunner eight(*rt_, cfg);
+  const auto res8 = eight.run(random_batch(8, slots / 8, 10));
+
+  // Identical whole-ciphertext schedule regardless of batch size...
+  EXPECT_EQ(res8.stats.eval.ct_mults, res1.stats.eval.ct_mults);
+  EXPECT_EQ(res8.stats.eval.relins, res1.stats.eval.relins);
+  EXPECT_EQ(res8.stats.eval.levels_consumed, res1.stats.eval.levels_consumed);
+  EXPECT_EQ(res8.stats.ops.rotations.load(), res1.stats.ops.rotations.load());
+  EXPECT_EQ(res8.stats.ops.relins.load(), res1.stats.ops.relins.load());
+
+  // ...so the amortized per-input counters divide by 8 exactly.
+  EXPECT_DOUBLE_EQ(res8.stats.ops_per_input().rotations,
+                   res1.stats.ops_per_input().rotations / 8.0);
+  EXPECT_DOUBLE_EQ(res8.stats.eval_per_input().relins,
+                   res1.stats.eval_per_input().relins / 8.0);
+  EXPECT_DOUBLE_EQ(res8.stats.eval_per_input().ct_mults,
+                   res1.stats.eval_per_input().ct_mults / 8.0);
+}
+
+TEST_F(BatchRunnerTest, SubmitDrainKeepsOrderAndMatchesRun) {
+  const int input_size = static_cast<int>(rt_->ctx().slot_count()) / 2;
+  smartpaf::BatchRunner runner(*rt_, activation_cfg(input_size));
+  ASSERT_EQ(runner.capacity(), 2);
+
+  // 2 * capacity + 1 requests -> three packed groups, the last partial.
+  const auto inputs = random_batch(5, input_size, 11, -2.0, 2.0);
+  std::vector<std::uint64_t> tickets;
+  for (const auto& in : inputs) tickets.push_back(runner.submit(in));
+  EXPECT_EQ(runner.pending(), 5u);
+
+  const auto groups = runner.drain();
+  EXPECT_EQ(runner.pending(), 0u);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].ids, (std::vector<std::uint64_t>{tickets[0], tickets[1]}));
+  EXPECT_EQ(groups[2].ids, (std::vector<std::uint64_t>{tickets[4]}));
+  EXPECT_EQ(groups[2].stats.batch_size, 1);
+
+  // Drained results agree with the synchronous path on the same inputs.
+  const auto direct = runner.run({inputs[0], inputs[1]});
+  for (std::size_t b = 0; b < 2; ++b) {
+    double worst = 0.0;
+    for (int j = 0; j < input_size; ++j)
+      worst = std::max(worst, std::abs(groups[0].outputs[b][static_cast<std::size_t>(j)] -
+                                       direct.outputs[b][static_cast<std::size_t>(j)]));
+    EXPECT_LT(worst, kParityTol) << "request " << b;
+  }
+}
+
+TEST_F(BatchRunnerTest, HoistedExtractDeliversPerRequestCiphertexts) {
+  const int input_size = static_cast<int>(rt_->ctx().slot_count()) / 4;
+  smartpaf::BatchRunner runner(*rt_, activation_cfg(input_size));
+  const auto inputs = random_batch(4, input_size, 12, -2.0, 2.0);
+
+  // Re-derive the packed output ciphertext, then extract requests 0, 1, 3.
+  const std::vector<double> flat = Encoder::pack_slots(
+      inputs, static_cast<std::size_t>(input_size), rt_->ctx().slot_count());
+  const Ciphertext packed = rt_->encrypt(flat);
+  const Ciphertext out = rt_->paf_evaluator().relu(
+      rt_->evaluator(), packed, runner.config().paf, runner.config().input_scale);
+  const auto expect = runner.run(inputs);
+
+  const OpCounters before = rt_->evaluator().counters;
+  const std::vector<Ciphertext> extracted = runner.extract(out, {0, 1, 3});
+  const OpCounters delta = rt_->evaluator().counters.delta_since(before);
+  // One shared decomposition: every nonzero step is served hoisted (request
+  // 0 is the identity rotation, returned for free).
+  EXPECT_EQ(delta.hoisted_rotations.load(), 2u);
+  EXPECT_EQ(delta.rotations.load(), 2u);
+
+  ASSERT_EQ(extracted.size(), 3u);
+  const std::vector<int> which = {0, 1, 3};
+  for (std::size_t i = 0; i < which.size(); ++i) {
+    const std::vector<double> got = rt_->decrypt(extracted[i]);
+    double worst = 0.0;
+    for (int j = 0; j < input_size; ++j)
+      worst = std::max(worst,
+                       std::abs(got[static_cast<std::size_t>(j)] -
+                                expect.outputs[static_cast<std::size_t>(which[i])]
+                                              [static_cast<std::size_t>(j)]));
+    EXPECT_LT(worst, kParityTol) << "request " << which[i];
+  }
+}
+
+TEST_F(BatchRunnerTest, RejectsBadConfigAndOversizedBatch) {
+  EXPECT_THROW(smartpaf::BatchRunner(*rt_, smartpaf::BatchConfig{}), sp::Error);
+
+  smartpaf::BatchConfig cfg = activation_cfg(static_cast<int>(rt_->ctx().slot_count()));
+  smartpaf::BatchRunner runner(*rt_, cfg);
+  EXPECT_THROW(runner.run(random_batch(2, 4, 13)), sp::Error);
+  EXPECT_THROW(runner.run({}), sp::Error);
+  EXPECT_THROW(runner.extract(rt_->encrypt({1.0}), {runner.capacity()}), sp::Error);
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Checks intra-repo markdown links.
+
+Scans every tracked-ish .md file (skipping build trees and vendored code)
+for [text](target) links and fails when a relative target does not exist on
+disk. External links (scheme://, mailto:) and pure in-page anchors (#...)
+are skipped; a relative target's #anchor suffix is stripped before the
+existence check.
+
+Usage: python3 tools/check_md_links.py [repo_root]
+Exit code 0 = all links resolve, 1 = broken links (listed on stdout).
+"""
+import os
+import re
+import sys
+
+SKIP_DIRS = {"build", "build-shim", "build-tsan", "bench_out", "third_party",
+             ".git", ".claude"}
+# [text](target) — target must not start with a scheme or be an in-page
+# anchor. Images ![alt](path) match the same pattern.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path):
+    broken = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            # Code is not hypertext: skip fenced blocks and inline `...`
+            # spans, else C++ like operator[](size_t) reads as a link.
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            line = re.sub(r"`[^`]*`", "", line)
+            for target in LINK_RE.findall(line):
+                if SCHEME_RE.match(target) or target.startswith("#"):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                resolved = os.path.normpath(os.path.join(os.path.dirname(path), rel))
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target))
+    return broken
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    failures = 0
+    checked = 0
+    for path in sorted(md_files(root)):
+        checked += 1
+        for lineno, target in check_file(path):
+            print(f"BROKEN {os.path.relpath(path, root)}:{lineno}: ({target})")
+            failures += 1
+    print(f"checked {checked} markdown files: "
+          f"{'all links resolve' if failures == 0 else f'{failures} broken links'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
