@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <climits>
 #include <cmath>
+#include <cstring>
 #include <optional>
 #include <set>
 
@@ -135,23 +136,26 @@ PowerSim sim_from_basis(const PowerBasis& basis) {
 }
 
 /// Cheapest pure-ladder cost for the window, given already-cached powers.
-int ladder_cost(const approx::Polynomial& p, int lo, int d, const PowerBasis& basis) {
-  PowerSim ps = sim_from_basis(basis);
+int ladder_cost(const approx::Polynomial& p, int lo, int d, PowerSim seed) {
   int joins = 0;
-  plan_ladder(p, lo, lo + d, ps, joins);
-  return ps.mults + joins;
+  plan_ladder(p, lo, lo + d, seed, joins);
+  return seed.mults + joins;
+}
+
+int ladder_cost(const approx::Polynomial& p, int lo, int d, const PowerBasis& basis) {
+  return ladder_cost(p, lo, d, sim_from_basis(basis));
 }
 
 /// Picks the BSGS baby window kk for window [lo, lo+d] that fits the level
 /// `budget` with the fewest ct-ct mults, or nullopt when no BSGS plan
 /// strictly beats the pure ladder (the caller then runs the ladder node).
 std::optional<int> choose_bsgs(const approx::Polynomial& p, int lo, int d, int budget,
-                               const PowerBasis& basis) {
-  const int ladder_mults = ladder_cost(p, lo, d, basis);
+                               const PowerSim& seed) {
+  const int ladder_mults = ladder_cost(p, lo, d, seed);
   int best_k = 0;
   int best_mults = INT_MAX;
   for (int kk = 2; kk <= 2 * d; kk *= 2) {
-    PowerSim ps = sim_from_basis(basis);
+    PowerSim ps = seed;
     int joins = 0;
     const BlockPlan plan = plan_blocks(p, lo, kk, 0, d / kk, ps, joins);
     if (plan.is_const || plan.depth > budget) continue;
@@ -163,6 +167,50 @@ std::optional<int> choose_bsgs(const approx::Polynomial& p, int lo, int d, int b
   }
   if (best_k != 0 && best_mults < ladder_mults) return best_k;
   return std::nullopt;
+}
+
+std::optional<int> choose_bsgs(const approx::Polynomial& p, int lo, int d, int budget,
+                               const PowerBasis& basis) {
+  return choose_bsgs(p, lo, d, budget, sim_from_basis(basis));
+}
+
+/// Mirrors eval_window's full decision recursion for predict_poly: every
+/// ladder node re-consults the BSGS planner against the live power set (just
+/// like the executor), so the predicted ct-mult count is exact. `budget` is
+/// the node's remaining level slack (depth at the root, one less for each
+/// high-half recursion).
+void sim_window(const approx::Polynomial& p, int lo, int hi, int budget, bool use_bsgs,
+                PowerSim& ps, int& joins) {
+  const int d = effective_degree(p, lo, hi);
+  if (d <= 1) return;  // constant, or a single coefficient rescale
+  if (use_bsgs) {
+    if (auto kk = choose_bsgs(p, lo, d, budget, ps)) {
+      plan_blocks(p, lo, *kk, 0, d / *kk, ps, joins);
+      return;
+    }
+  }
+  int h = 1;
+  while (h * 2 <= d) h *= 2;
+  ps.need(h);
+  const int d_b = effective_degree(p, lo + h, lo + d);
+  if (d_b > 0) {
+    sim_window(p, lo + h, lo + d, budget - 1, use_bsgs, ps, joins);
+    ++joins;
+  }
+  sim_window(p, lo, lo + h - 1, budget, use_bsgs, ps, joins);
+}
+
+/// FNV-1a over the raw coefficient doubles: the CompositeBasis output-memo
+/// fingerprint (bitwise coefficient identity, which is the reuse contract).
+std::uint64_t hash_coeffs(const approx::Polynomial& p) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (double c : p.coeffs()) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &c, sizeof(bits));
+    h ^= bits;
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 // ---------------------------------------------------------------------------
@@ -550,30 +598,82 @@ Ciphertext PafEvaluator::eval_composite(Evaluator& ev, PowerBasis& basis,
   return v;
 }
 
+Ciphertext PafEvaluator::eval_composite(Evaluator& ev, const Ciphertext& x,
+                                        const approx::CompositePaf& paf,
+                                        CompositeBasis& cache, EvalStats* stats) const {
+  const auto& stages = paf.stages();
+  sp::check(!stages.empty(), "eval_composite: empty PAF");
+  if (cache.stages_.size() < stages.size()) cache.stages_.resize(stages.size());
+
+  Ciphertext v = x;
+  bool invalidate_rest = false;  // an upstream stage re-evaluated: the cached
+                                 // intermediates below it are stale
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    auto& sc = cache.stages_[s];
+    if (invalidate_rest) sc = CompositeBasis::StageCache{};
+    const std::uint64_t h = hash_coeffs(stages[s]);
+    if (!sc.basis.initialized()) {
+      sc.basis.reset(*ctx_, *relin_, v);
+    } else {
+      sp::check(sc.basis.x().level() == v.level(),
+                "eval_composite: CompositeBasis stage was built for a different input");
+    }
+    if (sc.output && sc.coeff_hash == h) {
+      v = *sc.output;  // memoized: same input, same coefficients — zero ops
+      continue;
+    }
+    invalidate_rest = true;
+    v = eval_poly(ev, sc.basis, stages[s], stats);
+    sc.output = v;
+    sc.coeff_hash = h;
+  }
+  return v;
+}
+
 Ciphertext PafEvaluator::relu(Evaluator& ev, const Ciphertext& x,
                               const approx::CompositePaf& paf, double input_scale,
-                              EvalStats* stats, PowerBasis* basis_cache) const {
+                              EvalStats* stats, PowerBasis* basis_cache,
+                              CompositeBasis* composite_cache, double pre_factor) const {
   sp::check(input_scale > 0, "relu: input_scale must be positive");
+  sp::check(pre_factor != 0.0, "relu: pre_factor must be nonzero");
   sp::Timer timer;
 
-  PowerBasis local;
-  PowerBasis* basis = basis_cache ? basis_cache : &local;
-  if (!basis->initialized()) {
-    // t = x / input_scale at scale Delta.
-    Ciphertext t = scaled_to(ev, x, 1.0 / input_scale, x.level() - 1, ctx_->scale());
-    if (stats) ++stats->plain_mults;
-    basis->reset(*ctx_, *relin_, t);
+  // The activation sees (pre_factor * x) / input_scale; pre_factor rides the
+  // two plaintext multiplications the envelope pays anyway, so a folded
+  // scalar stage is free.
+  const double in_factor = pre_factor / input_scale;
+  Ciphertext p;
+  if (composite_cache) {
+    Ciphertext t;
+    if (composite_cache->initialized() &&
+        composite_cache->stage_basis(0).initialized()) {
+      sp::check(composite_cache->stage_basis(0).x().level() == x.level() - 1,
+                "relu: composite_cache was built for a different ciphertext level");
+      t = composite_cache->stage_basis(0).x();
+    } else {
+      t = scaled_to(ev, x, in_factor, x.level() - 1, ctx_->scale());
+      if (stats) ++stats->plain_mults;
+    }
+    p = eval_composite(ev, t, paf, *composite_cache, stats);
   } else {
-    // Cheap sanity check on cache reuse; content equality is the caller's
-    // contract (see header).
-    sp::check(basis->x().level() == x.level() - 1,
-              "relu: basis_cache was built for a different ciphertext level");
+    PowerBasis local;
+    PowerBasis* basis = basis_cache ? basis_cache : &local;
+    if (!basis->initialized()) {
+      // t = pre_factor * x / input_scale at scale Delta.
+      Ciphertext t = scaled_to(ev, x, in_factor, x.level() - 1, ctx_->scale());
+      if (stats) ++stats->plain_mults;
+      basis->reset(*ctx_, *relin_, t);
+    } else {
+      // Cheap sanity check on cache reuse; content equality is the caller's
+      // contract (see header).
+      sp::check(basis->x().level() == x.level() - 1,
+                "relu: basis_cache was built for a different ciphertext level");
+    }
+    p = eval_composite(ev, *basis, paf, stats);
   }
 
-  Ciphertext p = eval_composite(ev, *basis, paf, stats);
-
-  // y = (0.5 x) * (1 + p): one extra ct-ct multiplication.
-  Ciphertext xh = scaled_to(ev, x, 0.5, p.level(), p.scale);
+  // y = (0.5 pre_factor x) * (1 + p): one extra ct-ct multiplication.
+  Ciphertext xh = scaled_to(ev, x, 0.5 * pre_factor, p.level(), p.scale);
   if (stats) ++stats->plain_mults;
   const Plaintext one = encoder_->encode_scalar(1.0, p.scale, p.q_count());
   ev.add_plain_inplace(p, one);
@@ -592,30 +692,48 @@ Ciphertext PafEvaluator::relu(Evaluator& ev, const Ciphertext& x,
 
 Ciphertext PafEvaluator::max(Evaluator& ev, const Ciphertext& a, const Ciphertext& b,
                              const approx::CompositePaf& paf, double input_scale,
-                             EvalStats* stats, PowerBasis* basis_cache) const {
+                             EvalStats* stats, PowerBasis* basis_cache,
+                             CompositeBasis* composite_cache, double pre_factor) const {
+  sp::check(pre_factor != 0.0, "max: pre_factor must be nonzero");
   sp::Timer timer;
   Ciphertext a2 = a, b2 = b;
   ev.match_levels(a2, b2);
   Ciphertext d = ev.sub(a2, b2);
   Ciphertext s = ev.add(a2, b2);
 
-  PowerBasis local;
-  PowerBasis* basis = basis_cache ? basis_cache : &local;
-  if (!basis->initialized()) {
-    Ciphertext t = scaled_to(ev, d, 1.0 / input_scale, d.level() - 1, ctx_->scale());
-    basis->reset(*ctx_, *relin_, t);
+  // With pre_factor f: max(fa, fb) = 0.5 f (a+b) + 0.5 f (a-b) p(f(a-b)/s).
+  const double in_factor = pre_factor / input_scale;
+  Ciphertext p;
+  if (composite_cache) {
+    Ciphertext t;
+    if (composite_cache->initialized() &&
+        composite_cache->stage_basis(0).initialized()) {
+      sp::check(composite_cache->stage_basis(0).x().level() == d.level() - 1,
+                "max: composite_cache was built for different ciphertext levels");
+      t = composite_cache->stage_basis(0).x();
+    } else {
+      t = scaled_to(ev, d, in_factor, d.level() - 1, ctx_->scale());
+    }
+    p = eval_composite(ev, t, paf, *composite_cache, stats);
   } else {
-    sp::check(basis->x().level() == d.level() - 1,
-              "max: basis_cache was built for different ciphertext levels");
+    PowerBasis local;
+    PowerBasis* basis = basis_cache ? basis_cache : &local;
+    if (!basis->initialized()) {
+      Ciphertext t = scaled_to(ev, d, in_factor, d.level() - 1, ctx_->scale());
+      basis->reset(*ctx_, *relin_, t);
+    } else {
+      sp::check(basis->x().level() == d.level() - 1,
+                "max: basis_cache was built for different ciphertext levels");
+    }
+    p = eval_composite(ev, *basis, paf, stats);
   }
-  Ciphertext p = eval_composite(ev, *basis, paf, stats);
 
-  Ciphertext dh = scaled_to(ev, d, 0.5, p.level(), p.scale);
+  Ciphertext dh = scaled_to(ev, d, 0.5 * pre_factor, p.level(), p.scale);
   Ciphertext dp = ev.multiply(dh, p);
   ev.relinearize_inplace(dp, *relin_);
   ev.rescale_inplace(dp);
 
-  Ciphertext sh = scaled_to(ev, s, 0.5, dp.level(), dp.scale);
+  Ciphertext sh = scaled_to(ev, s, 0.5 * pre_factor, dp.level(), dp.scale);
   Ciphertext y = ev.add(dp, sh);
   if (stats) {
     ++stats->ct_mults;
@@ -625,6 +743,32 @@ Ciphertext PafEvaluator::max(Evaluator& ev, const Ciphertext& a, const Ciphertex
     stats->wall_ms += timer.ms();
   }
   return y;
+}
+
+SchedulePrediction PafEvaluator::predict_poly(const approx::Polynomial& p, Strategy s) {
+  SchedulePrediction out;
+  const int deg = effective_degree(p, 0, p.degree());
+  sp::check(deg >= 1, "predict_poly: polynomial reduced to a constant");
+  out.levels = ceil_log2(deg + 1);
+
+  PowerSim ps;
+  ps.have.insert(1);
+  int joins = 0;
+  sim_window(p, 0, deg, out.levels, s == Strategy::BSGS, ps, joins);
+  out.ct_mults = ps.mults + joins;
+  out.relins = out.ct_mults;
+  out.rescales = out.ct_mults;
+  for (int k = 1; k <= deg; ++k)
+    if (p.coeff(k) != 0.0) ++out.plain_mults;
+  return out;
+}
+
+SchedulePrediction PafEvaluator::predict_composite(const approx::CompositePaf& paf,
+                                                   Strategy s) {
+  sp::check(!paf.stages().empty(), "predict_composite: empty PAF");
+  SchedulePrediction out;
+  for (const auto& stage : paf.stages()) out += predict_poly(stage, s);
+  return out;
 }
 
 }  // namespace sp::fhe

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <optional>
+#include <vector>
 
 #include "approx/composite.h"
 #include "fhe/evaluator.h"
@@ -59,6 +62,31 @@ struct EvalStats {
   }
 };
 
+/// Planner-side prediction of one evaluation schedule, produced without
+/// touching any ciphertext. `ct_mults` and `levels` are exact — they come
+/// from the same pure cost model the executor mirrors operation for
+/// operation (the planner==measured cross-check in tests/test_poly_eval.cpp
+/// pins this). `relins`/`rescales` are the eager upper bound (lazy
+/// relinearization executes fewer); `plain_mults` counts the coefficient
+/// folds (one per nonzero non-constant coefficient), a close estimate.
+/// `smartpaf::Planner` weighs these counts with a measured `CostModel`.
+struct SchedulePrediction {
+  int ct_mults = 0;
+  int relins = 0;      ///< eager bound; under lazy relin, executed <= this
+  int rescales = 0;    ///< eager bound, same as relins
+  int plain_mults = 0; ///< coefficient-fold estimate
+  int levels = 0;      ///< exact multiplication depth consumed
+
+  SchedulePrediction& operator+=(const SchedulePrediction& o) {
+    ct_mults += o.ct_mults;
+    relins += o.relins;
+    rescales += o.rescales;
+    plain_mults += o.plain_mults;
+    levels += o.levels;
+    return *this;
+  }
+};
+
 /// Memoized power cache for one evaluation input: x^e is built on demand via
 /// the depth-optimal balanced split (e = a + b with a the largest power of
 /// two below e), so x^e always lands at level x.level() - ceil(log2 e).
@@ -114,6 +142,46 @@ class PowerBasis {
   const KSwitchKey* relin_ = nullptr;
   std::map<int, Ciphertext> pow_;
   int mults_spent_ = 0;
+};
+
+/// Per-stage evaluation cache for one composite-PAF input: stage i keeps the
+/// PowerBasis of its intermediate input (x_i, x_i^2, x_i^4, ...) plus a memo
+/// of the stage output, fingerprinted by the stage's coefficients. The
+/// single-PowerBasis `basis_cache` of relu()/max() only covers the FIRST
+/// composite stage; this cache extends the reuse to every stage, keyed on
+/// the intermediate ciphertexts, so repeat-on-same-input evaluation is
+/// nearly mult-free (only the final ReLU/max product remains).
+///
+/// Contract (same as PowerBasis reuse): an initialized cache must come from
+/// a previous evaluation of the SAME input ciphertext. Level mismatches are
+/// caught; content equality is the caller's duty. Coefficient changes are
+/// handled: a stage whose coefficients no longer match the cached
+/// fingerprint re-evaluates on its cached powers, and every later stage is
+/// re-seeded (their intermediates changed) — so the Coefficient-Tuning loop
+/// (same input, retrained coefficients) still keeps the power ladders of the
+/// unchanged prefix.
+class CompositeBasis {
+ public:
+  /// @brief True once any stage has been seeded by an evaluation.
+  bool initialized() const { return !stages_.empty(); }
+  /// @brief Drops every cached basis and output (ready for a new input).
+  void clear() { stages_.clear(); }
+  /// @brief Stages currently carrying cache state.
+  std::size_t stage_count() const { return stages_.size(); }
+  /// @brief Power basis of stage `i`'s input (grows the cache as needed).
+  PowerBasis& stage_basis(std::size_t i) {
+    if (stages_.size() <= i) stages_.resize(i + 1);
+    return stages_[i].basis;
+  }
+
+ private:
+  struct StageCache {
+    PowerBasis basis;
+    std::optional<Ciphertext> output;  ///< memoized stage output
+    std::uint64_t coeff_hash = 0;      ///< coefficients the output is valid for
+  };
+  std::vector<StageCache> stages_;
+  friend class PafEvaluator;
 };
 
 /// Evaluates polynomials / composite PAFs on ciphertexts.
@@ -191,6 +259,17 @@ class PafEvaluator {
                             const approx::CompositePaf& paf,
                             EvalStats* stats = nullptr) const;
 
+  /// @brief Composite evaluation through a per-stage CompositeBasis cache:
+  /// every stage's power basis AND output are cached, so a repeat call on
+  /// the same input (the CompositeBasis contract) costs zero ct-ct mults,
+  /// and a call with retrained coefficients reuses the cached powers.
+  /// @param x      evaluation input; ignored (beyond a level check) once the
+  ///               cache is initialized
+  /// @param cache  per-stage cache; seeded on first use
+  Ciphertext eval_composite(Evaluator& ev, const Ciphertext& x,
+                            const approx::CompositePaf& paf, CompositeBasis& cache,
+                            EvalStats* stats = nullptr) const;
+
   /// @brief relu(x) ≈ 0.5 x (1 + paf(x / input_scale)) — the Static-Scaling
   /// deployment form (paper §4.5).
   ///
@@ -208,10 +287,21 @@ class PafEvaluator {
   ///     scaled input is not recomputed on reuse, so a mismatched cache
   ///     silently evaluates the wrong input. A level mismatch is caught,
   ///     content mismatches are the caller's duty.
+  /// @param composite_cache  when given, supersedes `basis_cache`: EVERY
+  ///     composite stage's basis and output are cached (see CompositeBasis),
+  ///     so a repeat call on the same (x, input_scale, pre_factor, paf)
+  ///     pays only the final 0.5 x (1 + p) product — one ct-ct mult.
+  /// @param pre_factor  scalar folded into the activation input: evaluates
+  ///     the PAF-ReLU of (pre_factor * x) at zero extra cost (the factor
+  ///     rides the two plaintext multiplications the envelope already pays).
+  ///     This is how the pipeline planner folds scalar linear stages into
+  ///     the activation (RescalePolicy::FoldScalars).
   /// @return the PAF-ReLU of every slot, paf.mult_depth() + 2 levels below x
   Ciphertext relu(Evaluator& ev, const Ciphertext& x, const approx::CompositePaf& paf,
                   double input_scale, EvalStats* stats = nullptr,
-                  PowerBasis* basis_cache = nullptr) const;
+                  PowerBasis* basis_cache = nullptr,
+                  CompositeBasis* composite_cache = nullptr,
+                  double pre_factor = 1.0) const;
 
   /// @brief max(a,b) ≈ 0.5 (a + b) + 0.5 (a-b) paf((a-b)/input_scale).
   /// @param a            first operand
@@ -221,13 +311,37 @@ class PafEvaluator {
   /// @param stats        optional op/level/latency tally
   /// @param basis_cache  same contract as relu(): must come from a previous
   ///                     call with the same (a, b, input_scale)
+  /// @param composite_cache  supersedes `basis_cache`; caches every
+  ///                     composite stage (same contract as relu())
+  /// @param pre_factor  scalar folded into BOTH operands: computes
+  ///                     max(pre_factor * a, pre_factor * b) at zero extra
+  ///                     cost. Only meaningful when a and b are both raw
+  ///                     (unscaled) — the pipeline planner uses this for a
+  ///                     single pairwise fold (pool window 2), never inside
+  ///                     longer tournaments whose running operand already
+  ///                     carries the factor.
   Ciphertext max(Evaluator& ev, const Ciphertext& a, const Ciphertext& b,
                  const approx::CompositePaf& paf, double input_scale,
-                 EvalStats* stats = nullptr, PowerBasis* basis_cache = nullptr) const;
+                 EvalStats* stats = nullptr, PowerBasis* basis_cache = nullptr,
+                 CompositeBasis* composite_cache = nullptr,
+                 double pre_factor = 1.0) const;
 
   /// @brief Multiplication depth eval_poly consumes for `p` (both
   /// strategies consume exactly the ladder bound ceil(log2(deg+1))).
   static int mult_depth(const approx::Polynomial& p);
+
+  /// @brief Predicts the schedule eval_poly would execute for `p` under
+  /// strategy `s` with a fresh basis, without touching ciphertexts.
+  /// `ct_mults` and `levels` are exact (the prediction runs the same pure
+  /// planner the executor mirrors op-for-op); relins/rescales are the eager
+  /// upper bound. The BSGS prediction uses the depth budget eval_poly grants
+  /// itself (the ladder depth), so it is parameter-set independent.
+  static SchedulePrediction predict_poly(const approx::Polynomial& p, Strategy s);
+
+  /// @brief Stage-summed prediction for a composite PAF (each stage gets a
+  /// fresh intermediate basis, mirroring eval_composite).
+  static SchedulePrediction predict_composite(const approx::CompositePaf& paf,
+                                              Strategy s);
 
  private:
   /// (factor * ct) moved to `target_level` with scale exactly `target_scale`

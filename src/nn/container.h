@@ -25,6 +25,9 @@ class Sequential : public Layer {
 
   std::size_t size() const { return layers_.size(); }
   Layer& at(std::size_t i) { return *layers_[i]; }
+  /// Read-only child access (FhePipeline lowering walks the chain without
+  /// mutating it).
+  const Layer& at(std::size_t i) const { return *layers_[i]; }
 
  private:
   std::string name_;

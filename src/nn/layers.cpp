@@ -349,6 +349,114 @@ Tensor MaxPool2d::backward(const Tensor& gy) {
   return gx;
 }
 
+// --------------------------------------------------------------- Window1d --
+
+Window1d::Window1d(std::vector<float> taps, float bias, const std::string& name)
+    : taps_(static_cast<int>(taps.size())), name_(name) {
+  sp::check(taps_ >= 1, "Window1d: needs at least one tap");
+  w_.name = name + ".taps";
+  w_.value = Tensor({taps_});
+  w_.grad = Tensor({taps_});
+  for (int t = 0; t < taps_; ++t) w_.value[static_cast<std::size_t>(t)] = taps[static_cast<std::size_t>(t)];
+  b_.name = name + ".b";
+  b_.value = Tensor({1});
+  b_.grad = Tensor({1});
+  b_.value[0] = bias;
+}
+
+Tensor Window1d::forward(const Tensor& x, bool train) {
+  sp::check(x.ndim() == 2, "Window1d: expects [B, W], got " + x.shape_str());
+  const int batch = x.dim(0), w = x.dim(1);
+  sp::check(taps_ <= w, "Window1d: more taps than slots");
+  Tensor y({batch, w});
+  const double bias = b_.value[0];
+  for (int n = 0; n < batch; ++n)
+    for (int j = 0; j < w; ++j) {
+      // Accumulate in double so the output rounds to float exactly once —
+      // this keeps the lowered FHE pipeline within its 2^-20 parity budget.
+      double acc = bias;
+      for (int t = 0; t < taps_; ++t)
+        acc += static_cast<double>(w_.value[static_cast<std::size_t>(t)]) *
+               static_cast<double>(x.at(n, (j + t) % w));
+      y.at(n, j) = static_cast<float>(acc);
+    }
+  if (train) x_cache_ = x;
+  return y;
+}
+
+Tensor Window1d::backward(const Tensor& gy) {
+  const Tensor& x = x_cache_;
+  const int batch = x.dim(0), w = x.dim(1);
+  Tensor gx({batch, w});
+  double gb = 0.0;
+  std::vector<double> gw(static_cast<std::size_t>(taps_), 0.0);
+  for (int n = 0; n < batch; ++n)
+    for (int j = 0; j < w; ++j) {
+      const double g = gy.at(n, j);
+      gb += g;
+      for (int t = 0; t < taps_; ++t) {
+        gw[static_cast<std::size_t>(t)] += g * static_cast<double>(x.at(n, (j + t) % w));
+        gx.at(n, (j + t) % w) +=
+            static_cast<float>(g * static_cast<double>(w_.value[static_cast<std::size_t>(t)]));
+      }
+    }
+  for (int t = 0; t < taps_; ++t)
+    w_.grad[static_cast<std::size_t>(t)] += static_cast<float>(gw[static_cast<std::size_t>(t)]);
+  b_.grad[0] += static_cast<float>(gb);
+  return gx;
+}
+
+void Window1d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&w_);
+  out.push_back(&b_);
+}
+
+std::vector<double> Window1d::tap_values() const {
+  std::vector<double> out(static_cast<std::size_t>(taps_));
+  for (int t = 0; t < taps_; ++t) out[static_cast<std::size_t>(t)] = w_.value[static_cast<std::size_t>(t)];
+  return out;
+}
+
+// -------------------------------------------------------------- MaxPool1d --
+
+MaxPool1d::MaxPool1d(int window, const std::string& name) : window_(window), name_(name) {
+  sp::check(window_ >= 2, "MaxPool1d: window must be >= 2");
+}
+
+Tensor MaxPool1d::forward(const Tensor& x, bool train) {
+  sp::check(x.ndim() == 2, "MaxPool1d: expects [B, W], got " + x.shape_str());
+  const int batch = x.dim(0), w = x.dim(1);
+  sp::check(window_ <= w, "MaxPool1d: window wider than the slot count");
+  in_shape_ = x.shape();
+  Tensor y({batch, w});
+  if (train) argmax_.assign(y.numel(), -1);
+  std::size_t oidx = 0;
+  for (int n = 0; n < batch; ++n)
+    for (int j = 0; j < w; ++j, ++oidx) {
+      float best = x.at(n, j);
+      int best_idx = n * w + j;
+      for (int t = 1; t < window_; ++t) {
+        const float v = x.at(n, (j + t) % w);
+        // Pairwise tournament differences (the PAF-max operands).
+        if (profile_) profile_(best - v);
+        if (v > best) {
+          best = v;
+          best_idx = n * w + (j + t) % w;
+        }
+      }
+      y[oidx] = best;
+      if (train) argmax_[oidx] = best_idx;
+    }
+  return y;
+}
+
+Tensor MaxPool1d::backward(const Tensor& gy) {
+  Tensor gx(in_shape_);
+  for (std::size_t i = 0; i < gy.numel(); ++i)
+    if (argmax_[i] >= 0) gx[static_cast<std::size_t>(argmax_[i])] += gy[i];
+  return gx;
+}
+
 // -------------------------------------------------------------- AvgPool2d --
 
 AvgPool2d::AvgPool2d(int kernel, int stride, const std::string& name)

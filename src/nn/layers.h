@@ -120,6 +120,64 @@ class MaxPool2d final : public Layer {
   profile_fn profile_;
 };
 
+/// Cyclic 1-D window (circular correlation) over the last axis of a [B, W]
+/// tensor: y[b, j] = bias + sum_t taps[t] * x[b, (j + t) mod W]. Taps and
+/// bias are trainable. The cyclic boundary matches the FHE rotation-fan
+/// window stage (a CKKS rotation is cyclic over all N/2 slots), so
+/// `smartpaf::FhePipeline::lower` maps it to a WindowStage — with exact
+/// slot parity when the network runs at W == slot_count (the lowered
+/// pipeline wraps at the slot boundary, the layer wraps at W; at other
+/// widths the last taps-1 outputs differ).
+class Window1d final : public Layer {
+ public:
+  explicit Window1d(std::vector<float> taps, float bias = 0.0f,
+                    const std::string& name = "window1d");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+
+  int taps() const { return taps_; }
+  /// Current tap values (the trainable parameter, read back as doubles).
+  std::vector<double> tap_values() const;
+  double bias_value() const { return static_cast<double>(b_.value[0]); }
+
+ private:
+  int taps_;
+  std::string name_;
+  Param w_, b_;
+  Tensor x_cache_;
+};
+
+/// Cyclic 1-D max window over the last axis of [B, W] (stride 1):
+/// y[b, j] = max over t < window of x[b, (j + t) mod W]. A non-polynomial
+/// operator (replacement target -> smartpaf::PafMaxPool1d); the cyclic,
+/// stride-1 geometry keeps the output slot-aligned for FhePipeline lowering.
+class MaxPool1d final : public Layer {
+ public:
+  explicit MaxPool1d(int window, const std::string& name = "maxpool1d");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return name_; }
+  bool is_nonpoly() const override { return true; }
+
+  int window() const { return window_; }
+
+  /// Profiling hook recording pairwise tournament differences (the PAF-max
+  /// inputs), used by Coefficient Tuning for pool sites.
+  using profile_fn = std::function<void(float)>;
+  void set_profile(profile_fn fn) { profile_ = std::move(fn); }
+
+ private:
+  int window_;
+  std::string name_;
+  std::vector<int> argmax_;
+  std::vector<int> in_shape_;
+  profile_fn profile_;
+};
+
 /// Average pooling.
 class AvgPool2d final : public Layer {
  public:

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <thread>
+#include <utility>
 
 #include "common/check.h"
 #include "common/timer.h"
@@ -9,6 +12,9 @@
 namespace sp::smartpaf {
 
 BatchRunner::BatchRunner(FheRuntime& rt, BatchConfig cfg)
+    : BatchRunner(rt, std::move(cfg), CostModel::heuristic()) {}
+
+BatchRunner::BatchRunner(FheRuntime& rt, BatchConfig cfg, const CostModel& cost)
     : rt_(&rt), cfg_(std::move(cfg)) {
   const auto slots = static_cast<int>(rt_->ctx().slot_count());
   sp::check(cfg_.input_size >= 1, "BatchRunner: input_size must be >= 1");
@@ -24,93 +30,60 @@ BatchRunner::BatchRunner(FheRuntime& rt, BatchConfig cfg)
                 "BatchRunner: pipeline needs ", depth_needed, " levels but the chain has ",
                 rt_->ctx().q_count() - 1);
 
-  for (std::size_t t = 1; t < cfg_.window.size(); ++t)
-    window_steps_.push_back(static_cast<int>(t));
-  if (!window_steps_.empty()) window_keys_ = rt_->galois_keys(window_steps_);
+  // The config is sugar over the pipeline layer: lower, plan once, and pull
+  // the whole plan's rotation keys from the runtime's deduplicated store so
+  // requests never pay keygen.
+  FhePipeline::Builder builder = FhePipeline::builder();
+  if (!cfg_.window.empty()) builder.window(cfg_.window);
+  builder.paf_relu(cfg_.paf, cfg_.input_scale);
+  pipeline_ = builder.build();
+  plan_ = Planner::plan(pipeline_, rt_->ctx(), cost);
+  rt_->rotation_keys(plan_.rotation_steps());
 }
 
-fhe::Ciphertext BatchRunner::eval_packed(const fhe::Ciphertext& packed,
-                                         fhe::EvalStats* stats) {
-  fhe::Evaluator& ev = rt_->evaluator();
-  fhe::Ciphertext cur = packed;
+BatchRunner::Prepared BatchRunner::prepare_group(std::vector<std::vector<double>> inputs,
+                                                 std::vector<std::uint64_t> ids) {
+  Prepared prep;
+  prep.inputs = std::move(inputs);
+  prep.ids = std::move(ids);
 
-  if (!cfg_.window.empty()) {
-    // Window stage: acc = sum_t w[t] * rot(x, t). The fan shares one
-    // hoisted decomposition; tap 0 needs no rotation at all. One rescale
-    // returns the sum to ~Delta (all taps were scaled identically).
-    std::vector<fhe::Ciphertext> rotated;
-    if (!window_steps_.empty()) rotated = ev.rotate_hoisted(cur, window_steps_, window_keys_);
+  sp::Timer timer;
+  prep.flat = fhe::Encoder::pack_slots(prep.inputs,
+                                       static_cast<std::size_t>(cfg_.input_size),
+                                       rt_->ctx().slot_count());
+  prep.pack_ms = timer.ms();
 
-    const double delta = rt_->ctx().scale();
-    fhe::Ciphertext acc = cur;
-    ev.multiply_plain_inplace(
-        acc, rt_->encoder().encode_scalar(cfg_.window[0], delta, acc.q_count()));
-    for (std::size_t t = 1; t < cfg_.window.size(); ++t) {
-      fhe::Ciphertext& term = rotated[t - 1];
-      ev.multiply_plain_inplace(
-          term, rt_->encoder().encode_scalar(cfg_.window[t], delta, term.q_count()));
-      ev.add_inplace(acc, term);
-    }
-    ev.rescale_inplace(acc);
-    cur = acc;
-  }
-
-  return rt_->paf_evaluator().relu(ev, cur, cfg_.paf, cfg_.input_scale, stats);
+  timer.reset();
+  prep.packed = rt_->encrypt(prep.flat);
+  prep.encrypt_ms = timer.ms();
+  return prep;
 }
 
-std::vector<double> BatchRunner::reference(const std::vector<double>& flat) const {
-  const std::size_t slots = flat.size();
-  std::vector<double> y = flat;
-  if (!cfg_.window.empty()) {
-    for (std::size_t j = 0; j < slots; ++j) {
-      double acc = 0.0;
-      for (std::size_t t = 0; t < cfg_.window.size(); ++t)
-        acc += cfg_.window[t] * flat[(j + t) % slots];
-      y[j] = acc;
-    }
-  }
-  for (double& v : y)
-    v = approx::paf_relu(cfg_.paf, v / cfg_.input_scale) * cfg_.input_scale;
-  return y;
-}
-
-BatchRunner::Result BatchRunner::run_packed(const std::vector<std::vector<double>>& inputs,
-                                            std::vector<std::uint64_t> ids) {
-  sp::check(!inputs.empty(), "BatchRunner::run: empty batch");
-  sp::check_fmt(inputs.size() <= static_cast<std::size_t>(capacity_),
-                "BatchRunner::run: batch of ", inputs.size(), " exceeds capacity ",
-                capacity_);
-
+BatchRunner::Result BatchRunner::finish_prepared(Prepared prep, double prep_hidden_ms) {
   Result res;
-  res.ids = std::move(ids);
-  res.stats.batch_size = static_cast<int>(inputs.size());
+  res.ids = std::move(prep.ids);
+  res.stats.batch_size = static_cast<int>(prep.inputs.size());
   res.stats.capacity = capacity_;
+  res.stats.pack_ms = prep.pack_ms;
+  res.stats.encrypt_ms = prep.encrypt_ms;
+  res.stats.prep_hidden_ms = prep_hidden_ms;
   fhe::Evaluator& ev = rt_->evaluator();
   const fhe::OpCounters before = ev.counters;
 
   sp::Timer timer;
-  const std::vector<double> flat = fhe::Encoder::pack_slots(
-      inputs, static_cast<std::size_t>(cfg_.input_size), rt_->ctx().slot_count());
-  res.stats.pack_ms = timer.ms();
-
-  timer.reset();
-  const fhe::Ciphertext packed = rt_->encrypt(flat);
-  res.stats.encrypt_ms = timer.ms();
-
-  timer.reset();
-  const fhe::Ciphertext out = eval_packed(packed, &res.stats.eval);
+  const fhe::Ciphertext out = pipeline_.run(*rt_, plan_, prep.packed, &res.stats.eval);
   res.stats.eval_ms = timer.ms();
 
   timer.reset();
   const std::vector<double> got = rt_->decrypt(out);
   res.outputs = fhe::Encoder::unpack_slots(got, static_cast<std::size_t>(cfg_.input_size),
-                                           inputs.size());
+                                           prep.inputs.size());
   res.stats.decrypt_ms = timer.ms();
   res.stats.ops = ev.counters.delta_since(before);
 
-  const std::vector<double> ref = reference(flat);
-  res.max_error.assign(inputs.size(), 0.0);
-  for (std::size_t b = 0; b < inputs.size(); ++b)
+  const std::vector<double> ref = pipeline_.reference(prep.flat);
+  res.max_error.assign(prep.inputs.size(), 0.0);
+  for (std::size_t b = 0; b < prep.inputs.size(); ++b)
     for (int j = 0; j < cfg_.input_size; ++j) {
       const std::size_t slot = b * static_cast<std::size_t>(cfg_.input_size) +
                                static_cast<std::size_t>(j);
@@ -121,9 +94,13 @@ BatchRunner::Result BatchRunner::run_packed(const std::vector<std::vector<double
 }
 
 BatchRunner::Result BatchRunner::run(const std::vector<std::vector<double>>& inputs) {
+  sp::check(!inputs.empty(), "BatchRunner::run: empty batch");
+  sp::check_fmt(inputs.size() <= static_cast<std::size_t>(capacity_),
+                "BatchRunner::run: batch of ", inputs.size(), " exceeds capacity ",
+                capacity_);
   std::vector<std::uint64_t> ids(inputs.size());
   for (std::size_t b = 0; b < ids.size(); ++b) ids[b] = b;
-  return run_packed(inputs, std::move(ids));
+  return finish_prepared(prepare_group(inputs, std::move(ids)), 0.0);
 }
 
 std::uint64_t BatchRunner::submit(std::vector<double> input) {
@@ -134,20 +111,112 @@ std::uint64_t BatchRunner::submit(std::vector<double> input) {
 }
 
 std::vector<BatchRunner::Result> BatchRunner::drain() {
-  std::vector<Result> results;
+  // Split the queue into capacity-sized groups up front (submission order).
+  struct Group {
+    std::vector<std::vector<double>> inputs;
+    std::vector<std::uint64_t> ids;
+  };
+  std::vector<Group> groups;
   while (!queue_.empty()) {
     const std::size_t take =
         std::min(queue_.size(), static_cast<std::size_t>(capacity_));
-    std::vector<std::vector<double>> inputs;
-    std::vector<std::uint64_t> ids;
-    inputs.reserve(take);
-    ids.reserve(take);
+    Group g;
+    g.inputs.reserve(take);
+    g.ids.reserve(take);
     for (std::size_t i = 0; i < take; ++i) {
-      ids.push_back(queue_.front().first);
-      inputs.push_back(std::move(queue_.front().second));
+      g.ids.push_back(queue_.front().first);
+      g.inputs.push_back(std::move(queue_.front().second));
       queue_.pop_front();
     }
-    results.push_back(run_packed(inputs, std::move(ids)));
+    groups.push_back(std::move(g));
+  }
+  if (groups.empty()) return {};
+
+  // On failure, every not-yet-started group goes back to the FRONT of the
+  // queue (submission order preserved, ahead of anything submitted since),
+  // so a later drain() retries it — the group actually mid-flight is lost
+  // with the thrown error, exactly like the pre-overlap code.
+  auto requeue_pairs = [this](std::vector<std::uint64_t>& ids,
+                              std::vector<std::vector<double>>& inputs) {
+    for (std::size_t b = inputs.size(); b-- > 0;)
+      queue_.emplace_front(ids[b], std::move(inputs[b]));
+  };
+  auto requeue_from = [&](std::size_t from) {
+    for (std::size_t g = groups.size(); g > from;) {
+      --g;
+      requeue_pairs(groups[g].ids, groups[g].inputs);
+    }
+  };
+
+  std::vector<Result> results;
+  results.reserve(groups.size());
+
+  if (!overlap_) {
+    // Historical fully sequential schedule: pack -> encrypt -> eval per group.
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      try {
+        results.push_back(finish_prepared(
+            prepare_group(std::move(groups[i].inputs), std::move(groups[i].ids)), 0.0));
+      } catch (...) {
+        requeue_from(i + 1);
+        throw;
+      }
+    }
+    return results;
+  }
+
+  // Double-buffered schedule: while group k evaluates (saturating the thread
+  // pool), a helper thread packs + encrypts group k+1. Encryption order is
+  // unchanged (group k+1 is still encrypted after group k), so the
+  // encryptor's RNG stream — and therefore every result — is bit-identical
+  // to the sequential schedule; the helper only touches the encoder and
+  // encryptor, never the evaluator or its counters.
+  Prepared cur;
+  try {
+    cur = prepare_group(std::move(groups[0].inputs), std::move(groups[0].ids));
+  } catch (...) {
+    requeue_from(1);
+    throw;
+  }
+  double cur_hidden = 0.0;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    Prepared next;
+    std::exception_ptr prep_error;
+    std::thread helper;
+    const bool has_next = i + 1 < groups.size();
+    if (has_next) {
+      Group& g = groups[i + 1];
+      helper = std::thread([this, &next, &prep_error, &g] {
+        try {
+          next = prepare_group(std::move(g.inputs), std::move(g.ids));
+        } catch (...) {
+          prep_error = std::current_exception();
+        }
+      });
+    }
+
+    try {
+      results.push_back(finish_prepared(std::move(cur), cur_hidden));
+    } catch (...) {
+      if (helper.joinable()) helper.join();
+      // The already-prepared next group and the raw tail both survive.
+      if (has_next && !prep_error) requeue_pairs(next.ids, next.inputs);
+      requeue_from(i + 2);
+      throw;
+    }
+
+    if (helper.joinable()) {
+      // Any time left on the helper is a stall the overlap could not hide.
+      sp::Timer stall_timer;
+      helper.join();
+      if (prep_error) {
+        requeue_from(i + 2);
+        std::rethrow_exception(prep_error);
+      }
+      const double stall_ms = stall_timer.ms();
+      cur_hidden = std::max(0.0, next.pack_ms + next.encrypt_ms - stall_ms);
+      cur = std::move(next);
+    }
   }
   return results;
 }
@@ -157,27 +226,20 @@ std::vector<fhe::Ciphertext> BatchRunner::extract(const fhe::Ciphertext& packed,
   fhe::Evaluator& ev = rt_->evaluator();
   std::vector<int> steps;
   steps.reserve(requests.size());
-  std::vector<int> missing_steps;
   for (int b : requests) {
     sp::check_fmt(b >= 0 && b < capacity_, "BatchRunner::extract: request ", b,
                   " out of range [0, ", capacity_, ")");
-    const int step = b * cfg_.input_size;
-    steps.push_back(step);
-    // Step 0 reuses the source; keys for other strides are generated once
-    // and cached for the runner's lifetime.
-    if (step != 0 && extract_keys_.keys.count(ev.galois_element(step)) == 0)
-      missing_steps.push_back(step);
+    steps.push_back(b * cfg_.input_size);
   }
-  if (!missing_steps.empty()) {
-    fhe::GaloisKeys fresh = rt_->galois_keys(missing_steps);
-    for (auto& kv : fresh.keys) extract_keys_.keys.emplace(kv.first, std::move(kv.second));
-  }
+  // Stride keys come from the runtime's shared store: generated on first
+  // use, deduplicated against the window stage (and any other pipeline).
+  const fhe::GaloisKeys& gk = rt_->rotation_keys(steps);
 
   // All-identity fans (extract of request 0 only) skip the decomposition
   // entirely — hoisting would be pure waste.
   if (std::all_of(steps.begin(), steps.end(), [](int s) { return s == 0; }))
     return std::vector<fhe::Ciphertext>(steps.size(), packed);
-  return ev.rotate_hoisted(packed, steps, extract_keys_);
+  return ev.rotate_hoisted(packed, steps, gk);
 }
 
 }  // namespace sp::smartpaf

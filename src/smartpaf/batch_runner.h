@@ -6,6 +6,8 @@
 
 #include "approx/composite.h"
 #include "smartpaf/fhe_deploy.h"
+#include "smartpaf/pipeline.h"
+#include "smartpaf/pipeline_planner.h"
 
 namespace sp::smartpaf {
 
@@ -17,6 +19,11 @@ namespace sp::smartpaf {
 /// conv/pooling-style rotation pattern) followed by the Static-Scaling
 /// PAF-ReLU. Both run once per packed ciphertext, so every homomorphic op is
 /// amortized across the batch.
+///
+/// This config is a convenience shim: internally the runner lowers it to an
+/// `FhePipeline` (window stage + PAF-ReLU stage) and plans it; richer stage
+/// graphs (multiple activations, MaxPool stages, per-slot linears) go
+/// through `FhePipeline` directly — see docs/PIPELINE.md.
 struct BatchConfig {
   /// Slots reserved per request; capacity = slot_count / input_size.
   int input_size = 1;
@@ -43,6 +50,12 @@ struct BatchStats {
   double encrypt_ms = 0.0;  ///< encode + encrypt of the packed vector
   double eval_ms = 0.0;     ///< window fan + PAF-ReLU under CKKS
   double decrypt_ms = 0.0;  ///< decrypt + decode + unpack
+  /// Client-side pack+encrypt milliseconds that drain() hid behind the
+  /// PREVIOUS group's evaluation (double-buffering): this group's
+  /// preparation ran concurrently, so only `pack_ms + encrypt_ms -
+  /// prep_hidden_ms` extended the wall clock. Always 0 for run(), the first
+  /// drained group, and overlap-disabled runners.
+  double prep_hidden_ms = 0.0;
 
   /// PAF-evaluation stats for the whole packed ciphertext (the window fan is
   /// visible in `ops`, not here: EvalStats tracks the polynomial evaluator).
@@ -67,21 +80,30 @@ struct BatchStats {
 
 /// @brief Batched private-inference front end: packs B independent requests
 /// across the CKKS slots of ONE ciphertext, shares one FheRuntime (keys, NTT
-/// tables, Galois keys) across all of them, evaluates the pipeline once per
-/// packed ciphertext, and unpacks per-request results with per-request error
-/// stats.
+/// tables, rotation keys) across all of them, evaluates the pipeline once
+/// per packed ciphertext, and unpacks per-request results with per-request
+/// error stats.
+///
+/// Since the pipeline layer landed, BatchRunner is a thin slot-packing
+/// adapter: the config lowers to an `FhePipeline`, a heuristic-cost `Plan`
+/// is fixed at construction (pass a calibrated CostModel for measured-cost
+/// planning), rotation keys come from the runtime's deduplicated
+/// `rotation_keys()` store, and `run`/`drain` wrap `Encoder::pack_slots` ->
+/// encrypt -> `FhePipeline::run` -> decrypt -> `unpack_slots`.
 ///
 /// Why this is the serving-scale lever: every homomorphic op on a packed
 /// ciphertext acts on all N/2 slots at once, so its cost divides by the
 /// batch size. The rotation fan of the window stage additionally routes
 /// through `Evaluator::rotate_hoisted` — one key-switch digit decomposition
-/// serves the whole fan (PR 2's HoistedDecomposition), and that single
-/// decomposition is itself amortized across the batch.
+/// serves the whole fan, and that single decomposition is itself amortized
+/// across the batch.
 ///
 /// Thread-pool sizing: one packed evaluation already fans its NTT batches
 /// and key-switch digits across the SMARTPAF_THREADS pool, so `drain()`
-/// processes groups sequentially — each group saturates the pool on its own,
-/// and sequential groups keep results independent of pool size.
+/// evaluates groups sequentially — but it double-buffers the CLIENT side:
+/// group k+1's pack/encrypt runs on a helper thread while group k evaluates
+/// (the helper degrades to inline serial NTTs when the pool is busy, so
+/// results stay bit-identical; see BatchStats::prep_hidden_ms).
 class BatchRunner {
  public:
   /// @brief Result of one packed-ciphertext pipeline.
@@ -98,18 +120,34 @@ class BatchRunner {
 
   /// @brief Binds the runner to a shared runtime and validates the config.
   ///
-  /// Generates the window stage's Galois keys (steps 1..k-1) once; requests
-  /// never pay keygen. The runtime's prime chain must cover the pipeline
-  /// depth: (window ? 1 : 0) + paf.mult_depth() + 2 levels.
+  /// Lowers the config to an FhePipeline, plans it (heuristic cost model)
+  /// and draws the window stage's rotation keys from the runtime's shared
+  /// store once; requests never pay keygen. The runtime's prime chain must
+  /// cover the pipeline depth: (window ? 1 : 0) + paf.mult_depth() + 2.
   /// @param rt   shared CKKS machinery (must outlive the runner)
   /// @param cfg  packing geometry + pipeline
   BatchRunner(FheRuntime& rt, BatchConfig cfg);
+
+  /// @brief Same, planning with a caller-supplied (typically calibrated)
+  /// cost model instead of the heuristic table.
+  BatchRunner(FheRuntime& rt, BatchConfig cfg, const CostModel& cost);
 
   /// @brief Requests that fit one packed ciphertext (slot_count / input_size).
   int capacity() const { return capacity_; }
   /// @brief Slots reserved per request.
   int input_size() const { return cfg_.input_size; }
   const BatchConfig& config() const { return cfg_; }
+
+  /// @brief The pipeline the config lowered to.
+  const FhePipeline& pipeline() const { return pipeline_; }
+  /// @brief The plan fixed at construction (inspect via Plan::describe()).
+  const Plan& plan() const { return plan_; }
+
+  /// @brief Toggles drain()'s encode/encrypt double-buffering (default on).
+  /// Results are bit-identical either way; off = the historical fully
+  /// sequential schedule (useful for A/B timing).
+  void set_overlap(bool on) { overlap_ = on; }
+  bool overlap() const { return overlap_; }
 
   /// @brief Synchronous batched evaluation: packs `inputs` into one
   /// ciphertext, runs the pipeline once, and unpacks per-request results.
@@ -129,6 +167,10 @@ class BatchRunner {
   /// @brief Packs the queue into full-capacity groups and evaluates them
   /// (last group may be partial). Requests keep submission order, so
   /// Result::ids are ascending across the returned groups.
+  ///
+  /// With overlap enabled, group k+1's pack/encrypt runs on a helper thread
+  /// while group k evaluates; the hidden client-side milliseconds land in
+  /// that group's BatchStats::prep_hidden_ms.
   /// @return one Result per packed ciphertext evaluated; empty if idle
   std::vector<Result> drain();
 
@@ -142,28 +184,38 @@ class BatchRunner {
   /// rest of the batch.
   /// @param packed   a packed pipeline output (2-part ciphertext)
   /// @param requests batch positions to extract (0-based, < capacity());
-  ///                 rotation keys for the needed strides are generated on
-  ///                 first use and cached for the runner's lifetime
+  ///                 rotation keys for the needed strides come from the
+  ///                 runtime's shared store (generated once, deduplicated
+  ///                 against every other stage's keys)
   /// @return one ciphertext per requested position, its slice at slots
   ///         [0, input_size)
   std::vector<fhe::Ciphertext> extract(const fhe::Ciphertext& packed,
                                        const std::vector<int>& requests);
 
  private:
-  /// Runs window + PAF-ReLU on a packed ciphertext.
-  fhe::Ciphertext eval_packed(const fhe::Ciphertext& packed, fhe::EvalStats* stats);
-  /// Plaintext reference of the pipeline over a packed slot vector.
-  std::vector<double> reference(const std::vector<double>& flat) const;
-  /// Shared pack -> encrypt -> eval -> decrypt -> unpack path.
-  Result run_packed(const std::vector<std::vector<double>>& inputs,
-                    std::vector<std::uint64_t> ids);
+  /// One group's client-side state: packed slots + encrypted input.
+  struct Prepared {
+    std::vector<std::vector<double>> inputs;
+    std::vector<std::uint64_t> ids;
+    std::vector<double> flat;
+    fhe::Ciphertext packed;
+    double pack_ms = 0.0;
+    double encrypt_ms = 0.0;
+  };
+
+  /// pack_slots + encrypt, timed (safe to run on a helper thread: touches
+  /// only the encoder/encryptor, never the evaluator or its counters).
+  Prepared prepare_group(std::vector<std::vector<double>> inputs,
+                         std::vector<std::uint64_t> ids);
+  /// eval -> decrypt -> unpack -> error stats for a prepared group.
+  Result finish_prepared(Prepared prep, double prep_hidden_ms);
 
   FheRuntime* rt_;
   BatchConfig cfg_;
   int capacity_ = 0;
-  std::vector<int> window_steps_;  ///< 1..k-1, fixed for the runner's lifetime
-  fhe::GaloisKeys window_keys_;    ///< keys for window_steps_, from the ctor
-  fhe::GaloisKeys extract_keys_;   ///< stride keys, cached on first extract()
+  FhePipeline pipeline_;  ///< cfg_ lowered to a stage graph
+  Plan plan_;             ///< fixed schedule for every packed ciphertext
+  bool overlap_ = true;
   std::deque<std::pair<std::uint64_t, std::vector<double>>> queue_;
   std::uint64_t next_id_ = 0;
 };

@@ -109,6 +109,8 @@ CtResult coefficient_tuning(nn::Model& model, const nn::Dataset& calib,
       auto* relu = dynamic_cast<nn::ReLU*>(sites[i].slot->get());
       sp::check(relu != nullptr, "coefficient_tuning: ReLU site mismatch");
       relu->set_profile([prof](float x) { prof->record(static_cast<double>(x)); });
+    } else if (auto* pool1d = dynamic_cast<nn::MaxPool1d*>(sites[i].slot->get())) {
+      pool1d->set_profile([prof](float d) { prof->record(static_cast<double>(d)); });
     } else {
       auto* pool = dynamic_cast<nn::MaxPool2d*>(sites[i].slot->get());
       sp::check(pool != nullptr, "coefficient_tuning: MaxPool site mismatch");
@@ -124,6 +126,8 @@ CtResult coefficient_tuning(nn::Model& model, const nn::Dataset& calib,
   for (std::size_t i = 0; i < sites.size(); ++i) {
     if (sites[i].kind == SiteKind::ReLU)
       dynamic_cast<nn::ReLU*>(sites[i].slot->get())->set_profile(nullptr);
+    else if (auto* pool1d = dynamic_cast<nn::MaxPool1d*>(sites[i].slot->get()))
+      pool1d->set_profile(nullptr);
     else
       dynamic_cast<nn::MaxPool2d*>(sites[i].slot->get())->set_profile(nullptr);
   }

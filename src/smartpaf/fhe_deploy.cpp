@@ -23,6 +23,19 @@ fhe::GaloisKeys FheRuntime::galois_keys(const std::vector<int>& steps) {
   return keygen_->galois_keys(steps);
 }
 
+const fhe::GaloisKeys& FheRuntime::rotation_keys(const std::vector<int>& steps) {
+  std::vector<int> missing;
+  for (int s : steps) {
+    if (s == 0) continue;  // identity rotation needs no key
+    if (rot_keys_.keys.count(keygen_->galois_element(s)) == 0) missing.push_back(s);
+  }
+  if (!missing.empty()) {
+    fhe::GaloisKeys fresh = keygen_->galois_keys(missing);
+    for (auto& kv : fresh.keys) rot_keys_.keys.emplace(kv.first, std::move(kv.second));
+  }
+  return rot_keys_;
+}
+
 int FheRuntime::threads() const { return sp::ThreadPool::global().threads(); }
 
 fhe::Ciphertext FheRuntime::encrypt(const std::vector<double>& values) {
@@ -54,15 +67,16 @@ PafLatencyResult measure_paf_relu(FheRuntime& rt, const approx::CompositePaf& pa
   out.ms_median = sp::median(times);
   out.ms_best = *std::min_element(times.begin(), times.end());
 
-  // Warm path: a shared PowerBasis carries the scaled input's first-stage
-  // powers across calls — the repeat-on-same-input cost, reported separately.
-  // Skipped for single-shot measurements to keep them cheap.
+  // Warm path: a shared CompositeBasis carries EVERY stage's powers and
+  // outputs across calls — the repeat-on-same-input cost is one ct-ct mult
+  // (the final ReLU product), reported separately. Skipped for single-shot
+  // measurements to keep them cheap.
   if (repeats >= 2) {
-    fhe::PowerBasis basis;
+    fhe::CompositeBasis basis;
     fhe::EvalStats warm;
-    rt.paf_evaluator().relu(rt.evaluator(), ct, paf, input_scale, &warm, &basis);
+    rt.paf_evaluator().relu(rt.evaluator(), ct, paf, input_scale, &warm, nullptr, &basis);
     warm = {};
-    rt.paf_evaluator().relu(rt.evaluator(), ct, paf, input_scale, &warm, &basis);
+    rt.paf_evaluator().relu(rt.evaluator(), ct, paf, input_scale, &warm, nullptr, &basis);
     out.ms_warm_cached = warm.wall_ms;
   }
 

@@ -34,11 +34,24 @@ class FheRuntime {
   /// @brief Relinearization key generated at construction.
   const fhe::KSwitchKey& relin_key() const { return *relin_; }
 
-  /// @brief Rotation keys for the given slot steps (keygen on demand). Use
-  /// with `Evaluator::rotate` / `rotate_hoisted` for rotation-heavy layers.
+  /// @brief DEPRECATED shim: generates a FRESH key set for the given steps
+  /// on every call, so repeated callers hold duplicate Galois keys. Prefer
+  /// rotation_keys(), which deduplicates across every stage and call site.
+  /// Kept so existing call sites compile unchanged.
   /// @param steps  slot offsets (positive = left); duplicates are fine
   /// @return keys indexed by Galois element, one per distinct step
   fhe::GaloisKeys galois_keys(const std::vector<int>& steps);
+
+  /// @brief Shared, deduplicated rotation-key store: generates keys only for
+  /// steps whose Galois element is not yet covered and returns the runtime's
+  /// one key set (stable reference; later calls may extend it in place).
+  /// Every pipeline stage, BatchRunner fan and extract() stride draws from
+  /// this store, so a step needed by several stages pays keygen once.
+  /// @param steps  slot offsets (positive = left); 0 and duplicates are fine
+  const fhe::GaloisKeys& rotation_keys(const std::vector<int>& steps);
+
+  /// @brief Distinct Galois keys held by the shared rotation_keys() store.
+  std::size_t rotation_key_count() const { return rot_keys_.keys.size(); }
 
   /// @brief Lanes of the process-wide pool serving this runtime's hot loops
   /// (SMARTPAF_THREADS).
@@ -61,13 +74,15 @@ class FheRuntime {
   std::unique_ptr<fhe::Decryptor> decryptor_;
   std::unique_ptr<fhe::Evaluator> evaluator_;
   std::unique_ptr<fhe::PafEvaluator> paf_eval_;
+  fhe::GaloisKeys rot_keys_;  ///< shared rotation_keys() store
 };
 
 /// Result of measuring one PAF-ReLU evaluation under CKKS.
 struct PafLatencyResult {
   double ms_median = 0.0;       ///< cold wall-clock per PAF-ReLU over all slots
   double ms_best = 0.0;
-  double ms_warm_cached = 0.0;  ///< repeat on the same input with a shared PowerBasis
+  double ms_warm_cached = 0.0;  ///< repeat on the same input with a shared
+                                ///< CompositeBasis (one ct-ct mult total)
   fhe::EvalStats stats;         ///< op counts and levels consumed (cold path)
   double max_error = 0.0;       ///< vs the plaintext PAF-ReLU reference
 };

@@ -112,6 +112,98 @@ nn::Tensor PafActivation::backward(const nn::Tensor& gy) {
   return gx;
 }
 
+// ------------------------------------------------------------ PafMaxPool1d --
+
+PafMaxPool1d::PafMaxPool1d(approx::CompositePaf paf, int window, std::string name,
+                           ScaleMode mode, bool odd_only)
+    : PafLayerBase(std::move(paf), std::move(name), mode, odd_only), window_(window) {
+  sp::check(window_ >= 2, "PafMaxPool1d: window must be >= 2");
+}
+
+nn::Tensor PafMaxPool1d::forward(const nn::Tensor& x, bool train) {
+  sync_coeffs();
+  sp::check(x.ndim() == 2, "PafMaxPool1d: expects [B, W], got " + x.shape_str());
+  const int batch = x.dim(0), w = x.dim(1);
+  sp::check(window_ <= w, "PafMaxPool1d: window wider than the slot count");
+
+  // Scale = batch max per-window spread, an upper bound on every pairwise
+  // difference the tournament feeds to the PAF.
+  float spread = 0.0f;
+  for (int n = 0; n < batch; ++n)
+    for (int j = 0; j < w; ++j) {
+      float lo = x.at(n, j), hi = lo;
+      for (int t = 1; t < window_; ++t) {
+        const float v = x.at(n, (j + t) % w);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      spread = std::max(spread, hi - lo);
+    }
+  scale_used_ = resolve_scale(spread, train);
+  const double s = scale_used_;
+
+  nn::Tensor y({batch, w});
+  for (int n = 0; n < batch; ++n)
+    for (int j = 0; j < w; ++j) {
+      // The fold runs in double and rounds once on store, matching the
+      // encrypted tournament's step order exactly.
+      double m = x.at(n, j);
+      for (int t = 1; t < window_; ++t) {
+        const double v = x.at(n, (j + t) % w);
+        const double d = m - v;
+        m = 0.5 * ((m + v) + d * paf_(d / s));
+      }
+      y.at(n, j) = static_cast<float>(m);
+    }
+  if (train) x_cache_ = x;
+  return y;
+}
+
+nn::Tensor PafMaxPool1d::backward(const nn::Tensor& gy) {
+  const nn::Tensor& x = x_cache_;
+  const int batch = x.dim(0), w = x.dim(1);
+  nn::Tensor gx({batch, w});
+  const double s = scale_used_;
+  const auto n_coeff = static_cast<std::size_t>(paf_.num_coeffs());
+  std::vector<double> cg(n_coeff, 0.0);
+  std::vector<double> cg_local(n_coeff);
+  approx::CompositePaf::Tape tape;
+  const auto count = static_cast<std::size_t>(window_);
+  fold_m_.resize(count);
+  fold_dprev_.resize(count);
+  fold_dv_.resize(count);
+  fold_dc_.resize(count * n_coeff);
+
+  for (int n = 0; n < batch; ++n)
+    for (int j = 0; j < w; ++j) {
+      fold_m_[0] = x.at(n, j);
+      for (std::size_t i = 1; i < count; ++i) {
+        const double a = fold_m_[i - 1];
+        const double b = x.at(n, (j + static_cast<int>(i)) % w);
+        const double d = a - b;
+        const double t = d / s;
+        const double p = paf_.forward(t, tape);
+        std::fill(cg_local.begin(), cg_local.end(), 0.0);
+        const double dp_dt = paf_.backward(tape, 1.0, cg_local);
+        fold_m_[i] = 0.5 * ((a + b) + d * p);
+        fold_dprev_[i] = 0.5 * (1.0 + p + t * dp_dt);
+        fold_dv_[i] = 0.5 * (1.0 - p - t * dp_dt);
+        for (std::size_t k = 0; k < n_coeff; ++k)
+          fold_dc_[i * n_coeff + k] = 0.5 * d * cg_local[k];
+      }
+      double g = gy.at(n, j);
+      for (std::size_t i = count; i-- > 1;) {
+        gx.at(n, (j + static_cast<int>(i)) % w) += static_cast<float>(g * fold_dv_[i]);
+        for (std::size_t k = 0; k < n_coeff; ++k) cg[k] += g * fold_dc_[i * n_coeff + k];
+        g *= fold_dprev_[i];
+      }
+      gx.at(n, j) += static_cast<float>(g);
+    }
+  for (std::size_t k = 0; k < n_coeff; ++k) coeff_.grad[k] += static_cast<float>(cg[k]);
+  mask_even_grads();
+  return gx;
+}
+
 // -------------------------------------------------------------- PafMaxPool --
 
 namespace {

@@ -75,6 +75,30 @@ class PafActivation final : public PafLayerBase {
   float scale_used_ = 1.0f;
 };
 
+/// nn::MaxPool1d replaced by the cyclic pairwise PAF-max tournament over a
+/// [B, W] tensor: y[b, j] folds max over x[b, j..j+window-1] (cyclic) as
+/// m <- 0.5 ((m + v) + (m - v) · paf((m - v)/s)). The fold order matches
+/// the encrypted MaxPool stage of smartpaf::FhePipeline step for step, so a
+/// lowered network's plaintext forward and its FHE evaluation agree to
+/// ciphertext noise.
+class PafMaxPool1d final : public PafLayerBase {
+ public:
+  PafMaxPool1d(approx::CompositePaf paf, int window, std::string name,
+               ScaleMode mode = ScaleMode::Dynamic, bool odd_only = true);
+
+  nn::Tensor forward(const nn::Tensor& x, bool train) override;
+  nn::Tensor backward(const nn::Tensor& gy) override;
+
+  int window() const { return window_; }
+
+ private:
+  int window_;
+  nn::Tensor x_cache_;
+  float scale_used_ = 1.0f;
+  // Backward scratch (reused across slots to avoid per-slot allocation).
+  std::vector<double> fold_m_, fold_dprev_, fold_dv_, fold_dc_;
+};
+
 /// MaxPool replaced by a pairwise PAF-max tournament:
 /// max(a,b) ≈ 0.5 ((a+b) + (a-b) · paf((a-b)/s)). Nested calls accumulate
 /// approximation error — the reason the paper finds MaxPool harder to

@@ -1,0 +1,358 @@
+#include "smartpaf/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "nn/layers.h"
+#include "smartpaf/fhe_deploy.h"
+#include "smartpaf/pipeline_planner.h"
+
+namespace sp::smartpaf {
+
+bool linear_scale_is_identity(const LinearStage& lin) {
+  return std::all_of(lin.scale.begin(), lin.scale.end(),
+                     [](double s) { return s == 1.0; });
+}
+
+bool linear_has_bias(const LinearStage& lin) {
+  return std::any_of(lin.bias.begin(), lin.bias.end(),
+                     [](double b) { return b != 0.0; });
+}
+
+namespace {
+
+/// Rotation fan of `steps` over one source: hoisted (one shared digit
+/// decomposition) or naive per-step rotations, per the plan.
+std::vector<fhe::Ciphertext> rotate_fan(fhe::Evaluator& ev, const fhe::Ciphertext& ct,
+                                        const std::vector<int>& steps,
+                                        const fhe::GaloisKeys& gk, bool hoist) {
+  if (hoist) return ev.rotate_hoisted(ct, steps, gk);
+  std::vector<fhe::Ciphertext> rotated;
+  rotated.reserve(steps.size());
+  for (int s : steps) rotated.push_back(ev.rotate(ct, s, gk));
+  return rotated;
+}
+
+std::string paf_label(const char* kind, const PafStage& paf) {
+  std::ostringstream os;
+  os << kind << "[";
+  if (paf.kind == SiteKind::MaxPool) os << "k=" << paf.pool_window << " ";
+  if (!paf.paf.name().empty()) os << paf.paf.name() << " ";
+  os << "d" << paf.paf.mult_depth() << "]";
+  return os.str();
+}
+
+/// Restores the shared PafEvaluator's knobs after a per-stage override.
+struct PafEvalGuard {
+  fhe::PafEvaluator& pe;
+  fhe::PafEvaluator::Strategy strategy;
+  bool lazy;
+  explicit PafEvalGuard(fhe::PafEvaluator& p)
+      : pe(p), strategy(p.strategy()), lazy(p.lazy_relin()) {}
+  ~PafEvalGuard() {
+    pe.set_strategy(strategy);
+    pe.set_lazy_relin(lazy);
+  }
+};
+
+}  // namespace
+
+// ------------------------------------------------------------------ Builder --
+
+FhePipeline::Builder& FhePipeline::Builder::linear(std::vector<double> scale,
+                                                   std::vector<double> bias) {
+  sp::check(!scale.empty(), "FhePipeline: linear stage needs a scale");
+  std::ostringstream os;
+  if (scale.size() == 1)
+    os << "linear(x" << scale[0] << (bias.empty() ? "" : " +b") << ")";
+  else
+    os << "linear[" << scale.size() << " slots]";
+  stages_.push_back(Stage{LinearStage{std::move(scale), std::move(bias)}, os.str()});
+  return *this;
+}
+
+FhePipeline::Builder& FhePipeline::Builder::linear(double scale, double bias) {
+  return linear(std::vector<double>{scale},
+                bias == 0.0 ? std::vector<double>{} : std::vector<double>{bias});
+}
+
+FhePipeline::Builder& FhePipeline::Builder::window(std::vector<double> taps,
+                                                   double bias) {
+  sp::check(!taps.empty(), "FhePipeline: window stage needs taps");
+  std::ostringstream os;
+  os << "window[" << taps.size() << " taps]";
+  stages_.push_back(Stage{WindowStage{std::move(taps), bias}, os.str()});
+  return *this;
+}
+
+FhePipeline::Builder& FhePipeline::Builder::paf_relu(approx::CompositePaf paf,
+                                                     double input_scale) {
+  sp::check(!paf.stages().empty(), "FhePipeline: PAF-ReLU stage needs a PAF");
+  sp::check(input_scale > 0, "FhePipeline: input_scale must be positive");
+  PafStage st;
+  st.kind = SiteKind::ReLU;
+  st.paf = std::move(paf);
+  st.input_scale = input_scale;
+  std::string label = paf_label("paf-relu", st);
+  stages_.push_back(Stage{std::move(st), std::move(label)});
+  return *this;
+}
+
+FhePipeline::Builder& FhePipeline::Builder::paf_maxpool(approx::CompositePaf paf,
+                                                        double input_scale,
+                                                        int pool_window) {
+  sp::check(!paf.stages().empty(), "FhePipeline: PAF-MaxPool stage needs a PAF");
+  sp::check(input_scale > 0, "FhePipeline: input_scale must be positive");
+  sp::check(pool_window >= 2, "FhePipeline: pool_window must be >= 2");
+  PafStage st;
+  st.kind = SiteKind::MaxPool;
+  st.paf = std::move(paf);
+  st.input_scale = input_scale;
+  st.pool_window = pool_window;
+  std::string label = paf_label("paf-max", st);
+  stages_.push_back(Stage{std::move(st), std::move(label)});
+  return *this;
+}
+
+FhePipeline::Builder& FhePipeline::Builder::rescale_policy(RescalePolicy policy) {
+  policy_ = policy;
+  return *this;
+}
+
+FhePipeline FhePipeline::Builder::build() {
+  sp::check(!stages_.empty(), "FhePipeline: empty pipeline");
+  FhePipeline pipe;
+  pipe.stages_ = std::move(stages_);
+  pipe.policy_ = policy_;
+  return pipe;
+}
+
+// ----------------------------------------------------------------- Lowering --
+
+namespace {
+
+void lower_layer(const nn::Layer& layer, FhePipeline::Builder& b) {
+  if (const auto* seq = dynamic_cast<const nn::Sequential*>(&layer)) {
+    for (std::size_t i = 0; i < seq->size(); ++i) lower_layer(seq->at(i), b);
+    return;
+  }
+  if (const auto* win = dynamic_cast<const nn::Window1d*>(&layer)) {
+    const std::vector<double> taps = win->tap_values();
+    const double bias = win->bias_value();
+    if (taps.size() == 1) {
+      // A 1-tap window is a scalar affine stage — the foldable case.
+      b.linear(std::vector<double>{taps[0]},
+               bias == 0.0 ? std::vector<double>{} : std::vector<double>{bias});
+    } else {
+      b.window(taps, bias);
+    }
+    return;
+  }
+  if (const auto* paf = dynamic_cast<const PafLayerBase*>(&layer)) {
+    sp::check_fmt(paf->mode() == ScaleMode::Static, "FhePipeline::lower: PAF layer '",
+                  layer.name(),
+                  "' uses Dynamic scaling; run convert_to_static_scaling first");
+    if (const auto* act = dynamic_cast<const PafActivation*>(&layer)) {
+      b.paf_relu(act->paf(), static_cast<double>(act->static_scale()));
+      return;
+    }
+    if (const auto* pool = dynamic_cast<const PafMaxPool1d*>(&layer)) {
+      b.paf_maxpool(pool->paf(), static_cast<double>(pool->static_scale()),
+                    pool->window());
+      return;
+    }
+    throw sp::Error("FhePipeline::lower: PAF layer '" + layer.name() +
+                    "' is not slot-aligned (2-D PafMaxPool; use MaxPool1d sites)");
+  }
+  if (dynamic_cast<const nn::Flatten*>(&layer) != nullptr ||
+      dynamic_cast<const nn::Dropout*>(&layer) != nullptr) {
+    // Slot identities at inference time.
+    return;
+  }
+  if (layer.is_nonpoly())
+    throw sp::Error("FhePipeline::lower: non-polynomial site '" + layer.name() +
+                    "' was not replaced; run smartpaf::replace_all first");
+  throw sp::Error("FhePipeline::lower: unsupported layer '" + layer.name() +
+                  "' (supported: Sequential, Window1d, PafActivation, PafMaxPool1d, "
+                  "Flatten, Dropout)");
+}
+
+}  // namespace
+
+FhePipeline FhePipeline::lower(const nn::Layer& root) {
+  Builder b = builder();
+  lower_layer(root, b);
+  return b.build();
+}
+
+FhePipeline FhePipeline::lower(const nn::Model& model) { return lower(model.root()); }
+
+// ------------------------------------------------------------------ Queries --
+
+int stage_levels(const Stage& stage) {
+  if (const auto* lin = std::get_if<LinearStage>(&stage.op))
+    return linear_scale_is_identity(*lin) ? 0 : 1;
+  if (std::get_if<WindowStage>(&stage.op) != nullptr) return 1;
+  const auto& paf = std::get<PafStage>(stage.op);
+  const int per_act = paf.paf.mult_depth() + 2;
+  return paf.kind == SiteKind::MaxPool ? (paf.pool_window - 1) * per_act : per_act;
+}
+
+std::vector<int> stage_rotation_steps(const Stage& stage) {
+  std::vector<int> steps;
+  if (const auto* win = std::get_if<WindowStage>(&stage.op)) {
+    for (std::size_t t = 1; t < win->taps.size(); ++t)
+      steps.push_back(static_cast<int>(t));
+  } else if (const auto* paf = std::get_if<PafStage>(&stage.op)) {
+    if (paf->kind == SiteKind::MaxPool)
+      for (int t = 1; t < paf->pool_window; ++t) steps.push_back(t);
+  }
+  return steps;
+}
+
+int FhePipeline::mult_depth() const {
+  int total = 0;
+  for (const Stage& s : stages_) total += stage_levels(s);
+  return total;
+}
+
+std::vector<double> FhePipeline::reference(const std::vector<double>& slots) const {
+  std::vector<double> v = slots;
+  const std::size_t w = v.size();
+  sp::check(w > 0, "FhePipeline::reference: empty slot vector");
+  for (const Stage& st : stages_) {
+    if (const auto* lin = std::get_if<LinearStage>(&st.op)) {
+      for (std::size_t j = 0; j < w; ++j) {
+        const double s = lin->scale[lin->scale.size() == 1 ? 0 : j];
+        const double bias =
+            lin->bias.empty() ? 0.0 : lin->bias[lin->bias.size() == 1 ? 0 : j];
+        v[j] = s * v[j] + bias;
+      }
+    } else if (const auto* win = std::get_if<WindowStage>(&st.op)) {
+      std::vector<double> y(w);
+      for (std::size_t j = 0; j < w; ++j) {
+        double acc = win->bias;
+        for (std::size_t t = 0; t < win->taps.size(); ++t)
+          acc += win->taps[t] * v[(j + t) % w];
+        y[j] = acc;
+      }
+      v = std::move(y);
+    } else {
+      const auto& paf = std::get<PafStage>(st.op);
+      const double s = paf.input_scale;
+      if (paf.kind == SiteKind::ReLU) {
+        for (double& x : v) x = approx::paf_relu(paf.paf, x / s) * s;
+      } else {
+        std::vector<double> y(w);
+        for (std::size_t j = 0; j < w; ++j) {
+          double m = v[j];
+          for (int t = 1; t < paf.pool_window; ++t) {
+            const double b = v[(j + static_cast<std::size_t>(t)) % w];
+            const double d = m - b;
+            m = 0.5 * ((m + b) + d * paf.paf(d / s));
+          }
+          y[j] = m;
+        }
+        v = std::move(y);
+      }
+    }
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------- Execution --
+
+fhe::Ciphertext FhePipeline::run(FheRuntime& rt, const Plan& plan,
+                                 const fhe::Ciphertext& in,
+                                 fhe::EvalStats* stats) const {
+  sp::check(plan.stages.size() == stages_.size(),
+            "FhePipeline::run: plan does not match this pipeline");
+  sp::check_fmt(in.level() >= plan.levels_used, "FhePipeline::run: input has ",
+                in.level(), " levels but the plan needs ", plan.levels_used);
+
+  fhe::Evaluator& ev = rt.evaluator();
+  fhe::PafEvaluator& pe = rt.paf_evaluator();
+  fhe::Encoder& enc = rt.encoder();
+  const double delta = rt.ctx().scale();
+  PafEvalGuard guard(pe);
+
+  fhe::Ciphertext cur = in;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const Stage& st = stages_[i];
+    const StagePlan& sp_ = plan.stages[i];
+    if (sp_.folded) continue;  // absorbed into a later PAF stage's envelope
+
+    if (const auto* lin = std::get_if<LinearStage>(&st.op)) {
+      if (!linear_scale_is_identity(*lin)) {
+        const fhe::Plaintext pt =
+            lin->scale.size() == 1
+                ? enc.encode_scalar(lin->scale[0], delta, cur.q_count())
+                : enc.encode(lin->scale, delta, cur.q_count());
+        ev.multiply_plain_inplace(cur, pt);
+        ev.rescale_inplace(cur);
+      }
+      if (linear_has_bias(*lin)) {
+        const fhe::Plaintext bt =
+            lin->bias.size() == 1
+                ? enc.encode_scalar(lin->bias[0], cur.scale, cur.q_count())
+                : enc.encode(lin->bias, cur.scale, cur.q_count());
+        ev.add_plain_inplace(cur, bt);
+      }
+      continue;
+    }
+
+    if (const auto* win = std::get_if<WindowStage>(&st.op)) {
+      // acc = sum_t w[t] * rot(x, t); tap 0 needs no rotation, all taps are
+      // scaled identically so one rescale returns the sum to ~Delta.
+      std::vector<fhe::Ciphertext> rotated;
+      if (!sp_.rotation_steps.empty())
+        rotated = rotate_fan(ev, cur, sp_.rotation_steps,
+                             rt.rotation_keys(sp_.rotation_steps), sp_.hoist_fan);
+      fhe::Ciphertext acc = cur;
+      ev.multiply_plain_inplace(acc,
+                                enc.encode_scalar(win->taps[0], delta, acc.q_count()));
+      for (std::size_t t = 1; t < win->taps.size(); ++t) {
+        fhe::Ciphertext& term = rotated[t - 1];
+        ev.multiply_plain_inplace(
+            term, enc.encode_scalar(win->taps[t], delta, term.q_count()));
+        ev.add_inplace(acc, term);
+      }
+      ev.rescale_inplace(acc);
+      if (win->bias != 0.0)
+        ev.add_plain_inplace(acc,
+                             enc.encode_scalar(win->bias, acc.scale, acc.q_count()));
+      cur = std::move(acc);
+      continue;
+    }
+
+    const auto& paf = std::get<PafStage>(st.op);
+    pe.set_strategy(sp_.strategy);
+    pe.set_lazy_relin(sp_.lazy_relin);
+    if (paf.kind == SiteKind::ReLU) {
+      cur = pe.relu(ev, cur, paf.paf, paf.input_scale, stats, nullptr, nullptr,
+                    sp_.pre_factor);
+    } else {
+      // Cyclic pairwise tournament: the fan rotates the STAGE INPUT once
+      // (hoisted when the plan says so), then folds PAF-max left to right —
+      // the same order as PafMaxPool1d and reference().
+      std::vector<fhe::Ciphertext> rotated =
+          rotate_fan(ev, cur, sp_.rotation_steps,
+                     rt.rotation_keys(sp_.rotation_steps), sp_.hoist_fan);
+      fhe::Ciphertext m = cur;
+      for (fhe::Ciphertext& v : rotated)
+        m = pe.max(ev, m, v, paf.paf, paf.input_scale, stats, nullptr, nullptr,
+                   sp_.pre_factor);
+      cur = std::move(m);
+    }
+  }
+
+  sp::check_fmt(in.level() - cur.level() == plan.levels_used,
+                "FhePipeline::run: executed pipeline consumed ",
+                in.level() - cur.level(), " levels but the plan predicted ",
+                plan.levels_used);
+  return cur;
+}
+
+}  // namespace sp::smartpaf

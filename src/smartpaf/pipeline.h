@@ -1,0 +1,176 @@
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "approx/composite.h"
+#include "fhe/poly_eval.h"
+#include "smartpaf/replace.h"
+
+namespace sp::smartpaf {
+
+class FheRuntime;  // smartpaf/fhe_deploy.h
+struct Plan;       // smartpaf/pipeline_planner.h
+
+/// Where the planner may move work between stages.
+///
+/// `PerStage`: every stage executes literally as built — each non-identity
+/// linear stage pays its own plaintext multiplication + rescale (one level).
+/// `FoldScalars` (default): scalar-only linear stages (one broadcast scale,
+/// no bias) immediately preceding a PAF-ReLU stage — or a pairwise
+/// (pool_window == 2) PAF-MaxPool, whose two tournament operands are both
+/// raw — are folded into that activation's Static-Scaling envelope: the
+/// scalar rides the plaintext multiplications the envelope pays anyway, so
+/// each folded stage saves one level, one plaintext mult and one rescale.
+/// Longer tournaments never absorb folds (their running operand already
+/// carries the factor after the first fold).
+enum class RescalePolicy { PerStage, FoldScalars };
+
+/// Slot-wise affine stage: y[j] = scale[j] * x[j] + bias[j]. `scale` of
+/// size 1 broadcasts (the foldable scalar case); size slot_count applies
+/// per-slot plaintext weights (a diagonal linear layer). `bias` may be
+/// empty, size 1 or per-slot. Consumes one level unless the scale is
+/// identically 1 (bias-only: zero levels) or the planner folds it.
+struct LinearStage {
+  std::vector<double> scale;
+  std::vector<double> bias;
+};
+
+/// Rotation-fan stage: y[j] = bias + sum_t taps[t] * x[j + t] (cyclic over
+/// all slots — a 1-D convolution realized as a fan of slot rotations whose
+/// key-switch decomposition the plan may hoist). Consumes one level.
+struct WindowStage {
+  std::vector<double> taps;
+  double bias = 0.0;
+};
+
+/// Non-polynomial stage: a Static-Scaling PAF activation.
+///
+/// `ReLU`: relu(x) ≈ 0.5 x (1 + paf(x / input_scale)), consuming
+/// paf.mult_depth() + 2 levels. `MaxPool`: the cyclic pairwise tournament
+/// y[j] = fold of max over x[j .. j+pool_window-1] — a rotation fan of the
+/// stage input plus pool_window - 1 PAF-max folds, consuming
+/// (pool_window - 1) * (paf.mult_depth() + 2) levels.
+struct PafStage {
+  SiteKind kind = SiteKind::ReLU;
+  approx::CompositePaf paf;
+  double input_scale = 1.0;
+  int pool_window = 2;  ///< MaxPool only: cyclic window size (>= 2)
+};
+
+/// One pipeline stage (tagged union) plus its display label.
+struct Stage {
+  std::variant<LinearStage, WindowStage, PafStage> op;
+  std::string label;
+};
+
+/// A composable encrypted-inference pipeline: an ordered stage graph
+/// ("linear -> PAF-ReLU -> window -> PAF-MaxPool") that exists independently
+/// of any ciphertext or key material. Build it with the fluent Builder or
+/// lower it from a trained nn::Sequential whose non-polynomial sites were
+/// replaced by smartpaf::replace and converted to Static Scaling.
+///
+/// The pipeline is pure structure: `Planner::plan` validates it against a
+/// prime chain and picks per-stage schedules from a (measured) CostModel —
+/// inspectable via Plan::describe() before any encryption — and `run()`
+/// executes a plan on a ciphertext through a shared FheRuntime. BatchRunner
+/// is a thin slot-packing adapter over this class.
+class FhePipeline {
+ public:
+  /// Fluent construction: stages are appended in execution order.
+  class Builder {
+   public:
+    /// @brief Slot-wise affine stage (scale size 1 = broadcast scalar).
+    Builder& linear(std::vector<double> scale, std::vector<double> bias = {});
+    /// @brief Scalar affine convenience overload.
+    Builder& linear(double scale, double bias = 0.0);
+    /// @brief Cyclic rotation-fan window stage.
+    Builder& window(std::vector<double> taps, double bias = 0.0);
+    /// @brief Static-Scaling PAF-ReLU stage.
+    Builder& paf_relu(approx::CompositePaf paf, double input_scale);
+    /// @brief Cyclic PAF-MaxPool tournament stage over `pool_window` slots.
+    Builder& paf_maxpool(approx::CompositePaf paf, double input_scale, int pool_window);
+    /// @brief Sets the pipeline's default fold policy (FoldScalars if unset).
+    Builder& rescale_policy(RescalePolicy policy);
+    /// @brief Validates and returns the pipeline.
+    FhePipeline build();
+
+   private:
+    std::vector<Stage> stages_;
+    RescalePolicy policy_ = RescalePolicy::FoldScalars;
+  };
+
+  /// @brief Starts a fluent build.
+  static Builder builder() { return Builder(); }
+
+  /// @brief Lowers a replaced, Static-Scaling network to a pipeline.
+  ///
+  /// The model root must be an nn::Sequential (nested Sequentials are
+  /// walked in order) of slot-aligned layers:
+  ///  - nn::Window1d        -> WindowStage (1 tap -> scalar LinearStage)
+  ///  - PafActivation       -> PafStage ReLU  (Static scale folded in)
+  ///  - PafMaxPool1d        -> PafStage MaxPool
+  ///  - nn::Flatten / disabled nn::Dropout -> skipped (slot identity)
+  /// Un-replaced non-polynomial sites (ReLU/MaxPool), Dynamic-scaling PAF
+  /// layers and any other layer type are rejected with a diagnostic.
+  ///
+  /// Boundary contract: the cyclic Window1d/MaxPool1d layers wrap at their
+  /// tensor width W, the lowered stages wrap at the ciphertext's
+  /// slot_count. Exact parity with the plaintext forward therefore needs
+  /// W == slot_count (what tests/test_pipeline.cpp pins); at smaller W the
+  /// last window-1 slots of the ciphertext blend across the W boundary,
+  /// just like BatchRunner's packed-request window caveat.
+  static FhePipeline lower(const nn::Model& model);
+  /// @brief Same, from a bare root layer.
+  static FhePipeline lower(const nn::Layer& root);
+
+  const std::vector<Stage>& stages() const { return stages_; }
+  RescalePolicy rescale_policy() const { return policy_; }
+
+  /// @brief Levels the pipeline consumes when executed literally (no
+  /// folding); the FoldScalars plan may use fewer.
+  int mult_depth() const;
+
+  /// @brief Plaintext mirror of the pipeline over a full slot vector
+  /// (double precision, cyclic semantics — exactly what run() computes up
+  /// to ciphertext noise).
+  std::vector<double> reference(const std::vector<double>& slots) const;
+
+  /// @brief Executes a planned pipeline on `in` (top-level ciphertext).
+  ///
+  /// Rotation keys for every fan are drawn from the runtime's deduplicated
+  /// rotation_keys() store (generated on first use, shared across stages and
+  /// call sites). The PAF evaluator's strategy/lazy-relin knobs are set per
+  /// stage from the plan and restored afterwards.
+  /// @param rt     shared CKKS machinery
+  /// @param plan   a Plan produced by Planner::plan for THIS pipeline
+  /// @param in     input ciphertext with at least plan.levels_used levels
+  /// @param stats  optional tally accumulated across every PAF stage
+  /// @return the pipeline output, exactly plan.levels_used levels below `in`
+  fhe::Ciphertext run(FheRuntime& rt, const Plan& plan, const fhe::Ciphertext& in,
+                      fhe::EvalStats* stats = nullptr) const;
+
+ private:
+  std::vector<Stage> stages_;
+  RescalePolicy policy_ = RescalePolicy::FoldScalars;
+};
+
+/// @brief True when the linear stage's scale is identically 1 (bias-only
+/// stages consume no level). Shared by the planner's level accounting and
+/// run()'s execution so the two can never disagree.
+bool linear_scale_is_identity(const LinearStage& lin);
+
+/// @brief True when the linear stage carries any nonzero bias entry.
+bool linear_has_bias(const LinearStage& lin);
+
+/// @brief Levels `stage` consumes when executed literally (no folding):
+/// linear 1 (0 when the scale is identically 1), window 1, PAF-ReLU
+/// depth + 2, PAF-MaxPool (pool_window - 1) * (depth + 2).
+int stage_levels(const Stage& stage);
+
+/// @brief Slot-rotation steps the stage's fan needs (1..k-1 for window and
+/// MaxPool stages; empty otherwise).
+std::vector<int> stage_rotation_steps(const Stage& stage);
+
+}  // namespace sp::smartpaf

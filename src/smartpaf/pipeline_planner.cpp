@@ -1,0 +1,371 @@
+#include "smartpaf/pipeline_planner.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "smartpaf/fhe_deploy.h"
+
+namespace sp::smartpaf {
+namespace {
+
+/// Times `op` over fresh `setup()` state, returning the median ms.
+template <typename Setup, typename Op>
+double time_op(int repeats, const Setup& setup, const Op& op) {
+  std::vector<double> ts;
+  ts.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    auto state = setup();
+    sp::Timer t;
+    op(state);
+    ts.push_back(t.ms());
+  }
+  return sp::median(ts);
+}
+
+/// JSON helpers for the tiny flat cost-table object (no external deps).
+void json_field(std::ostringstream& os, const char* key, double v, bool last = false) {
+  os << "  \"" << key << "\": " << std::setprecision(17) << v << (last ? "\n" : ",\n");
+}
+
+bool json_read(const std::string& text, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t colon = text.find(':', at + needle.size());
+  if (colon == std::string::npos) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str() + colon + 1, &end);
+  if (end == text.c_str() + colon + 1) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- CostModel --
+
+CostModel CostModel::calibrate(FheRuntime& rt, int repeats) {
+  sp::check(repeats >= 1, "CostModel::calibrate: repeats must be >= 1");
+  CostModel cm;
+  cm.measured = true;
+  cm.poly_degree = rt.ctx().n();
+  cm.q_count = rt.ctx().q_count();
+
+  fhe::Evaluator& ev = rt.evaluator();
+  const auto slots = rt.ctx().slot_count();
+  sp::Rng rng(99);
+  std::vector<double> va(slots), vb(slots);
+  for (auto& v : va) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : vb) v = rng.uniform(-1.0, 1.0);
+  const fhe::Ciphertext a = rt.encrypt(va);
+  const fhe::Ciphertext b = rt.encrypt(vb);
+  const fhe::GaloisKeys& gk = rt.rotation_keys({1});
+  const fhe::Plaintext pt = rt.encoder().encode(vb, rt.ctx().scale(), a.q_count());
+
+  const auto no_setup = [] { return 0; };
+  cm.ct_mult_ms = time_op(repeats, no_setup, [&](int) { (void)ev.multiply(a, b); });
+
+  fhe::Ciphertext prod = ev.multiply(a, b);
+  cm.relin_ms = time_op(
+      repeats, [&] { return prod; },
+      [&](fhe::Ciphertext& c) { ev.relinearize_inplace(c, rt.relin_key()); });
+
+  fhe::Ciphertext relin = prod;
+  ev.relinearize_inplace(relin, rt.relin_key());
+  cm.rescale_ms = time_op(
+      repeats, [&] { return relin; },
+      [&](fhe::Ciphertext& c) { ev.rescale_inplace(c); });
+
+  cm.plain_mult_ms = time_op(
+      repeats, [&] { return a; },
+      [&](fhe::Ciphertext& c) { ev.multiply_plain_inplace(c, pt); });
+
+  cm.add_ms = time_op(repeats, no_setup, [&](int) { (void)ev.add(a, b); });
+  cm.rotate_ms = time_op(repeats, no_setup, [&](int) { (void)ev.rotate(a, 1, gk); });
+  cm.hoist_ms = time_op(repeats, no_setup, [&](int) { (void)ev.hoist(a); });
+
+  const fhe::HoistedDecomposition h = ev.hoist(a);
+  cm.hoisted_rotate_ms =
+      time_op(repeats, no_setup, [&](int) { (void)ev.rotate_hoisted(h, 1, gk); });
+  return cm;
+}
+
+bool CostModel::matches(const fhe::CkksContext& ctx) const {
+  return poly_degree == ctx.n() && q_count == ctx.q_count();
+}
+
+std::string CostModel::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  json_field(os, "poly_degree", static_cast<double>(poly_degree));
+  json_field(os, "q_count", static_cast<double>(q_count));
+  json_field(os, "measured", measured ? 1.0 : 0.0);
+  json_field(os, "ct_mult_ms", ct_mult_ms);
+  json_field(os, "relin_ms", relin_ms);
+  json_field(os, "rescale_ms", rescale_ms);
+  json_field(os, "plain_mult_ms", plain_mult_ms);
+  json_field(os, "add_ms", add_ms);
+  json_field(os, "rotate_ms", rotate_ms);
+  json_field(os, "hoist_ms", hoist_ms);
+  json_field(os, "hoisted_rotate_ms", hoisted_rotate_ms, /*last=*/true);
+  os << "}\n";
+  return os.str();
+}
+
+std::optional<CostModel> CostModel::from_json(const std::string& text) {
+  CostModel cm;
+  double pd = 0.0, qc = 0.0, measured = 0.0;
+  if (!json_read(text, "poly_degree", &pd) || !json_read(text, "q_count", &qc) ||
+      !json_read(text, "measured", &measured))
+    return std::nullopt;
+  if (!json_read(text, "ct_mult_ms", &cm.ct_mult_ms) ||
+      !json_read(text, "relin_ms", &cm.relin_ms) ||
+      !json_read(text, "rescale_ms", &cm.rescale_ms) ||
+      !json_read(text, "plain_mult_ms", &cm.plain_mult_ms) ||
+      !json_read(text, "add_ms", &cm.add_ms) ||
+      !json_read(text, "rotate_ms", &cm.rotate_ms) ||
+      !json_read(text, "hoist_ms", &cm.hoist_ms) ||
+      !json_read(text, "hoisted_rotate_ms", &cm.hoisted_rotate_ms))
+    return std::nullopt;
+  cm.poly_degree = static_cast<std::size_t>(pd);
+  cm.q_count = static_cast<int>(qc);
+  cm.measured = measured != 0.0;
+  return cm;
+}
+
+CostModel CostModel::load_or_calibrate(FheRuntime& rt, const std::string& path,
+                                       int repeats) {
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const auto cached = from_json(ss.str());
+      if (cached && cached->measured && cached->matches(rt.ctx())) return *cached;
+    }
+  }
+  CostModel cm = calibrate(rt, repeats);
+  std::error_code ec;
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream out(path);
+  if (out) out << cm.to_json();
+  return cm;
+}
+
+double CostModel::eval_cost(const fhe::SchedulePrediction& ops) const {
+  return ops.ct_mults * ct_mult_ms + ops.relins * relin_ms +
+         ops.rescales * rescale_ms + ops.plain_mults * plain_mult_ms;
+}
+
+double CostModel::fan_cost(int fan_size, bool hoisted) const {
+  if (fan_size <= 0) return 0.0;
+  return hoisted ? hoist_ms + fan_size * hoisted_rotate_ms : fan_size * rotate_ms;
+}
+
+// --------------------------------------------------------------------- Plan --
+
+std::string Plan::describe() const {
+  std::ostringstream os;
+  os << "FhePipeline plan: " << stages.size() << " stages, " << levels_used << "/"
+     << chain_levels << " levels, predicted cost " << std::fixed
+     << std::setprecision(2) << predicted_cost
+     << (measured_costs ? " ms (measured)" : " units (heuristic)") << "\n";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StagePlan& s = stages[i];
+    os << "  [" << i << "] " << std::left << std::setw(26) << s.label << std::right;
+    if (s.folded) {
+      os << "folded into the next PAF stage\n";
+      continue;
+    }
+    os << "L" << s.level_in << "->L" << s.level_out;
+    if (!s.rotation_steps.empty()) {
+      os << "  fan{";
+      for (std::size_t t = 0; t < s.rotation_steps.size(); ++t)
+        os << (t ? "," : "") << s.rotation_steps[t];
+      os << "}" << (s.hoist_fan ? " hoisted" : " naive");
+    }
+    if (s.ops.ct_mults > 0) {
+      os << "  " << (s.strategy == fhe::PafEvaluator::Strategy::BSGS ? "BSGS" : "Ladder")
+         << (s.lazy_relin ? " lazy-relin" : " eager-relin") << "  " << s.ops.ct_mults
+         << " ct-mults";
+      if (s.pre_factor != 1.0) os << "  pre x" << s.pre_factor;
+    }
+    os << "  cost " << std::fixed << std::setprecision(2) << s.predicted_cost << "\n";
+  }
+  return os.str();
+}
+
+std::vector<int> Plan::rotation_steps() const {
+  std::set<int> uniq;
+  for (const StagePlan& s : stages)
+    for (int step : s.rotation_steps) uniq.insert(step);
+  return std::vector<int>(uniq.begin(), uniq.end());
+}
+
+// ------------------------------------------------------------------ Planner --
+
+Plan Planner::plan(const FhePipeline& pipe, const fhe::CkksContext& ctx,
+                   const CostModel& cost, const PlanOptions& opts) {
+  const auto& stages = pipe.stages();
+  sp::check(!stages.empty(), "Planner: empty pipeline");
+  const RescalePolicy policy = opts.rescale_policy.value_or(pipe.rescale_policy());
+  const auto slots = ctx.slot_count();
+  const int chain = ctx.q_count() - 1;
+
+  // Shape validation against the parameter set.
+  for (const Stage& st : stages) {
+    if (const auto* lin = std::get_if<LinearStage>(&st.op)) {
+      sp::check_fmt(lin->scale.size() == 1 || lin->scale.size() == slots,
+                    "Planner: linear scale must have 1 or ", slots, " entries, got ",
+                    lin->scale.size());
+      sp::check_fmt(lin->bias.empty() || lin->bias.size() == 1 ||
+                        lin->bias.size() == slots,
+                    "Planner: linear bias must have 0, 1 or ", slots,
+                    " entries, got ", lin->bias.size());
+    } else if (const auto* win = std::get_if<WindowStage>(&st.op)) {
+      sp::check_fmt(win->taps.size() <= slots, "Planner: window of ",
+                    win->taps.size(), " taps exceeds the ", slots, " slots");
+    } else {
+      const auto& paf = std::get<PafStage>(st.op);
+      if (paf.kind == SiteKind::MaxPool)
+        sp::check_fmt(static_cast<std::size_t>(paf.pool_window) <= slots,
+                      "Planner: pool window ", paf.pool_window, " exceeds the ",
+                      slots, " slots");
+    }
+  }
+
+  Plan plan;
+  plan.chain_levels = chain;
+  plan.measured_costs = cost.measured;
+  plan.stages.resize(stages.size());
+
+  // Fold pass: scalar, bias-free linear stages directly preceding a PAF-ReLU
+  // ride that activation's envelope plaintexts (see RescalePolicy).
+  std::vector<double> pre_factor(stages.size(), 1.0);
+  std::vector<bool> folded(stages.size(), false);
+  if (policy == RescalePolicy::FoldScalars) {
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      const auto* paf = std::get_if<PafStage>(&stages[i].op);
+      if (paf == nullptr) continue;
+      // ReLU always absorbs; a MaxPool only for the single pairwise fold
+      // (pool window 2), where both tournament operands are raw and the
+      // factor rides max()'s envelope plaintexts.
+      const bool absorbs = paf->kind == SiteKind::ReLU ||
+                           (paf->kind == SiteKind::MaxPool && paf->pool_window == 2);
+      if (!absorbs) continue;
+      for (std::size_t j = i; j-- > 0;) {
+        const auto* lin = std::get_if<LinearStage>(&stages[j].op);
+        if (lin == nullptr || folded[j] || lin->scale.size() != 1 ||
+            linear_has_bias(*lin) || lin->scale[0] == 0.0)
+          break;
+        pre_factor[i] *= lin->scale[0];
+        folded[j] = true;
+      }
+    }
+  }
+
+  int level = chain;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const Stage& st = stages[i];
+    StagePlan& sp_ = plan.stages[i];
+    sp_.label = st.label;
+    sp_.level_in = level;
+    sp_.lazy_relin = opts.lazy_relin;
+    if (folded[i]) {
+      sp_.folded = true;
+      sp_.level_out = level;
+      continue;
+    }
+
+    sp_.rotation_steps = stage_rotation_steps(st);
+    const int fan = static_cast<int>(sp_.rotation_steps.size());
+    if (fan > 0)
+      sp_.hoist_fan =
+          opts.force_hoist.value_or(cost.fan_cost(fan, true) <= cost.fan_cost(fan, false));
+
+    if (const auto* lin = std::get_if<LinearStage>(&st.op)) {
+      if (!linear_scale_is_identity(*lin)) {
+        sp_.ops.plain_mults = 1;
+        sp_.ops.rescales = 1;
+        sp_.ops.levels = 1;
+      }
+      sp_.predicted_cost = cost.eval_cost(sp_.ops);
+    } else if (const auto* win = std::get_if<WindowStage>(&st.op)) {
+      sp_.ops.plain_mults = static_cast<int>(win->taps.size());
+      sp_.ops.rescales = 1;
+      sp_.ops.levels = 1;
+      sp_.predicted_cost = cost.eval_cost(sp_.ops) + cost.fan_cost(fan, sp_.hoist_fan);
+    } else {
+      const auto& paf = std::get<PafStage>(st.op);
+      const int per_act_levels = paf.paf.mult_depth() + 2;
+      const int acts = paf.kind == SiteKind::MaxPool ? paf.pool_window - 1 : 1;
+      // Pick the cheaper schedule under the cost table; BSGS first so it
+      // wins ties (both consume identical levels by construction).
+      const std::vector<fhe::PafEvaluator::Strategy> candidates =
+          opts.force_strategy
+              ? std::vector<fhe::PafEvaluator::Strategy>{*opts.force_strategy}
+              : std::vector<fhe::PafEvaluator::Strategy>{
+                    fhe::PafEvaluator::Strategy::BSGS,
+                    fhe::PafEvaluator::Strategy::Ladder};
+      double best_cost = 0.0;
+      bool first = true;
+      for (const auto cand : candidates) {
+        fhe::SchedulePrediction pred =
+            fhe::PafEvaluator::predict_composite(paf.paf, cand);
+        // The Static-Scaling envelope per activation: input scaling + final
+        // product (ReLU) or the tournament's d*p product + 0.5-halvings (max).
+        pred.ct_mults += 1;
+        pred.relins += 1;
+        pred.rescales += 1;
+        pred.plain_mults += paf.kind == SiteKind::MaxPool ? 3 : 2;
+        pred.levels = per_act_levels;
+        if (acts > 1) {
+          fhe::SchedulePrediction one = pred;
+          for (int a = 1; a < acts; ++a) pred += one;
+        }
+        const double c = cost.eval_cost(pred) + cost.fan_cost(fan, sp_.hoist_fan);
+        if (first || c < best_cost) {
+          best_cost = c;
+          sp_.strategy = cand;
+          sp_.ops = pred;
+          sp_.predicted_cost = c;
+          first = false;
+        }
+      }
+      sp_.pre_factor = pre_factor[i];
+    }
+
+    level -= sp_.ops.levels;
+    sp_.level_out = level;
+  }
+
+  plan.levels_used = chain - level;
+  for (const StagePlan& s : plan.stages) plan.predicted_cost += s.predicted_cost;
+
+  if (plan.levels_used > chain) {
+    std::ostringstream os;
+    os << "Planner: pipeline needs " << plan.levels_used
+       << " levels but the chain has " << chain << " (";
+    bool sep = false;
+    for (const StagePlan& s : plan.stages) {
+      if (s.folded) continue;
+      if (sep) os << ", ";
+      os << s.label << ": " << s.ops.levels;
+      sep = true;
+    }
+    os << "); use a deeper prime chain or a shallower PAF";
+    throw sp::Error(os.str());
+  }
+  return plan;
+}
+
+}  // namespace sp::smartpaf

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fhe/poly_eval.h"
+#include "smartpaf/pipeline.h"
+
+namespace sp::smartpaf {
+
+class FheRuntime;  // smartpaf/fhe_deploy.h
+
+/// Per-operation cost table the Planner weighs schedule candidates with.
+///
+/// Two sources: `heuristic()` reproduces the historical ct-ct-mult-count
+/// model (relative unit weights; picks BSGS and hoisted fans exactly like
+/// the pre-planner code paths), and `calibrate()` micro-benchmarks every
+/// primitive on a live FheRuntime at its top level — multiply, relinearize,
+/// rescale, plaintext multiply, add, rotate, hoist, hoisted rotate — so the
+/// plan reflects what THIS parameter set actually pays. Calibrated tables
+/// serialize to JSON (`load_or_calibrate` caches one per parameter set,
+/// fingerprinted by ring size and chain length).
+struct CostModel {
+  double ct_mult_ms = 1.0;
+  double relin_ms = 0.3;
+  double rescale_ms = 0.15;
+  double plain_mult_ms = 0.05;
+  double add_ms = 0.01;
+  double rotate_ms = 1.0;          ///< naive rotation (decompose + key inner product)
+  double hoist_ms = 0.25;          ///< one-time fan decomposition
+  double hoisted_rotate_ms = 0.5;  ///< per-rotation cost after hoisting
+
+  std::size_t poly_degree = 0;  ///< fingerprint: ring size the table was measured at
+  int q_count = 0;              ///< fingerprint: chain length
+  bool measured = false;        ///< false for the heuristic unit table
+
+  /// @brief The historical ct-ct-mult-count model as relative unit weights.
+  static CostModel heuristic() { return CostModel(); }
+
+  /// @brief Micro-benchmarks every evaluator primitive on `rt` (median of
+  /// `repeats` timed runs each, at top level). Performs real homomorphic
+  /// operations: expect a few hundred ms and counter increments.
+  static CostModel calibrate(FheRuntime& rt, int repeats = 5);
+
+  /// @brief Returns the table cached at `path` when its fingerprint matches
+  /// `rt`'s parameter set; otherwise calibrates and (best-effort) writes the
+  /// file, creating parent directories.
+  static CostModel load_or_calibrate(FheRuntime& rt, const std::string& path,
+                                     int repeats = 5);
+
+  /// @brief True when the fingerprint matches the context's parameter set.
+  bool matches(const fhe::CkksContext& ctx) const;
+
+  /// @brief Serializes the table to a one-object JSON string.
+  std::string to_json() const;
+  /// @brief Parses to_json() output; nullopt on malformed input.
+  static std::optional<CostModel> from_json(const std::string& text);
+
+  /// @brief Predicted cost (ms for measured tables, unit-weight score
+  /// otherwise) of a schedule's mult/relin/rescale/plain counts.
+  double eval_cost(const fhe::SchedulePrediction& ops) const;
+  /// @brief Predicted cost of a rotation fan of `fan_size` steps.
+  double fan_cost(int fan_size, bool hoisted) const;
+};
+
+/// The planned execution of one pipeline stage.
+struct StagePlan {
+  std::string label;
+  int level_in = 0;   ///< levels remaining when the stage starts
+  int level_out = 0;  ///< levels remaining after the stage
+  bool folded = false;       ///< stage absorbed into the next PAF stage
+  double pre_factor = 1.0;   ///< PAF-ReLU: scalar folded into the envelope
+  fhe::PafEvaluator::Strategy strategy = fhe::PafEvaluator::Strategy::BSGS;
+  bool lazy_relin = true;
+  bool hoist_fan = true;           ///< rotation fans share one decomposition
+  std::vector<int> rotation_steps; ///< slot steps this stage's fan needs
+  fhe::SchedulePrediction ops;     ///< predicted evaluator op counts
+  double predicted_cost = 0.0;     ///< CostModel-weighted stage cost
+};
+
+/// A validated, inspectable execution plan: per-stage levels, schedules and
+/// predicted costs, produced before any ciphertext exists.
+struct Plan {
+  std::vector<StagePlan> stages;
+  int chain_levels = 0;   ///< levels the prime chain offers
+  int levels_used = 0;    ///< levels the planned pipeline consumes
+  double predicted_cost = 0.0;
+  bool measured_costs = false;  ///< cost column is calibrated ms, not units
+
+  /// @brief Human-readable plan: one line per stage with level span,
+  /// schedule choice, fan/hoisting, fold target and predicted cost.
+  std::string describe() const;
+
+  /// @brief Union of every stage's rotation steps (sorted, deduplicated) —
+  /// pass to FheRuntime::rotation_keys for one up-front keygen.
+  std::vector<int> rotation_steps() const;
+};
+
+/// Planner options (everything optional; defaults follow the pipeline).
+struct PlanOptions {
+  /// Overrides the pipeline's RescalePolicy.
+  std::optional<RescalePolicy> rescale_policy;
+  /// Pins every PAF stage's schedule (benchmark forcing); unset = pick the
+  /// cheaper of Ladder/BSGS under the cost model.
+  std::optional<fhe::PafEvaluator::Strategy> force_strategy;
+  /// Pins fan hoisting; unset = hoist when the cost model says it pays.
+  std::optional<bool> force_hoist;
+  /// Lazy relinearization for PAF stages.
+  bool lazy_relin = true;
+};
+
+/// Validates a pipeline against a prime chain and chooses per-stage
+/// schedules by predicted cost.
+class Planner {
+ public:
+  /// @brief Plans `pipe` for the chain described by `ctx`.
+  ///
+  /// Validation: stage shapes (per-slot vectors vs slot count, pool windows)
+  /// and the end-to-end level budget — a pipeline deeper than the chain is
+  /// rejected with a per-stage level breakdown in the error message.
+  /// Decisions: scalar-linear folding (RescalePolicy), Ladder-vs-BSGS per
+  /// PAF stage, hoisted-vs-naive rotation fans, lazy-relin joins — all by
+  /// `cost.eval_cost`/`fan_cost`, so a calibrated table plans from measured
+  /// latencies instead of op counts. Planning is deterministic: the same
+  /// pipeline and cost table always produce the same plan.
+  /// @param pipe  the stage graph
+  /// @param ctx   parameter set to validate against (no keys needed)
+  /// @param cost  heuristic or calibrated cost table
+  /// @param opts  overrides (forced strategies for benchmarking, etc.)
+  static Plan plan(const FhePipeline& pipe, const fhe::CkksContext& ctx,
+                   const CostModel& cost, const PlanOptions& opts = {});
+};
+
+}  // namespace sp::smartpaf

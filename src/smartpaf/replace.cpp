@@ -23,7 +23,9 @@ std::vector<NonPolySite> find_nonpoly_sites(nn::Model& model) {
     if (!slot->is_nonpoly()) return;
     NonPolySite s;
     s.index = sites.size();
-    s.kind = dynamic_cast<nn::MaxPool2d*>(slot.get()) ? SiteKind::MaxPool : SiteKind::ReLU;
+    const bool is_pool = dynamic_cast<nn::MaxPool2d*>(slot.get()) != nullptr ||
+                         dynamic_cast<nn::MaxPool1d*>(slot.get()) != nullptr;
+    s.kind = is_pool ? SiteKind::MaxPool : SiteKind::ReLU;
     s.path = slot->name();
     s.slot = &slot;
     sites.push_back(s);
@@ -44,8 +46,16 @@ PafLayerBase* replace_site(nn::Model& model, const NonPolySite& site,
   sp::check(site.slot != nullptr && *site.slot != nullptr, "replace_site: stale site");
   PafLayerBase* created = nullptr;
   if (site.kind == SiteKind::MaxPool) {
+    if (auto* pool1d = dynamic_cast<nn::MaxPool1d*>(site.slot->get())) {
+      auto repl = std::make_unique<PafMaxPool1d>(paf, pool1d->window(),
+                                                 site.path + ".pafmax", mode);
+      created = repl.get();
+      *site.slot = std::move(repl);
+      model.invalidate_params();
+      return created;
+    }
     auto* pool = dynamic_cast<nn::MaxPool2d*>(site.slot->get());
-    sp::check(pool != nullptr, "replace_site: site is not a MaxPool2d");
+    sp::check(pool != nullptr, "replace_site: site is not a MaxPool1d/MaxPool2d");
     auto repl = std::make_unique<PafMaxPool>(paf, pool->kernel(), pool->stride(),
                                              pool->pad(), site.path + ".pafmax", mode);
     created = repl.get();
