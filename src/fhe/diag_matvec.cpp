@@ -1,0 +1,218 @@
+#include "fhe/diag_matvec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace sp::fhe {
+namespace {
+
+/// Floor-division giant step: g = n1 * floor(s / n1), so b = s - g lands in
+/// [0, n1) for negative steps too.
+int giant_of(int s, int n1) {
+  int g = (s / n1) * n1;
+  if (s < 0 && g > s) g -= n1;
+  return g;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ DiagMatVecPlan --
+
+std::vector<int> DiagMatVecPlan::nonzero_steps(const std::vector<double>& weights,
+                                               int rows, int cols) {
+  sp::check(rows >= 1 && cols >= 1, "DiagMatVecPlan: empty matrix");
+  sp::check(weights.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            "DiagMatVecPlan: weights must be row-major rows x cols");
+  std::vector<int> steps;
+  for (int s = -(rows - 1); s < cols; ++s) {
+    const int j_lo = std::max(0, -s);
+    const int j_hi = std::min(rows, cols - s);
+    bool nonzero = false;
+    for (int j = j_lo; j < j_hi && !nonzero; ++j)
+      nonzero = weights[static_cast<std::size_t>(j) * cols + (j + s)] != 0.0;
+    if (nonzero) steps.push_back(s);
+  }
+  return steps;
+}
+
+DiagMatVecPlan DiagMatVecPlan::group(const std::vector<int>& steps, int rows, int cols,
+                                     int n1) {
+  sp::check(n1 >= 1, "DiagMatVecPlan: n1 must be >= 1");
+  DiagMatVecPlan plan;
+  plan.rows = rows;
+  plan.cols = cols;
+  plan.n1 = n1;
+  plan.nonzero_diagonals = static_cast<int>(steps.size());
+  std::vector<int> babies, giants;
+  int prev_g = 0;
+  bool have_g = false;
+  for (int s : steps) {
+    const int g = giant_of(s, n1);
+    const int b = s - g;
+    if (b != 0) babies.push_back(b);
+    if (g != 0) giants.push_back(g);
+    if (!have_g || g != prev_g) {
+      ++plan.giant_groups;
+      prev_g = g;
+      have_g = true;
+    }
+  }
+  const auto uniq = [](std::vector<int>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  uniq(babies);
+  uniq(giants);
+  plan.baby_steps = std::move(babies);
+  plan.giant_steps = std::move(giants);
+  plan.diag_steps = steps;
+  return plan;
+}
+
+DiagMatVecPlan DiagMatVecPlan::make(const std::vector<double>& weights, int rows,
+                                    int cols, int n1) {
+  return group(nonzero_steps(weights, rows, cols), rows, cols, n1);
+}
+
+std::vector<int> DiagMatVecPlan::steps() const {
+  std::vector<int> all = baby_steps;
+  all.insert(all.end(), giant_steps.begin(), giant_steps.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+// ------------------------------------------------------------ DiagonalMatVec --
+
+DiagonalMatVec::DiagonalMatVec(const Encoder& enc, std::vector<double> weights,
+                               int rows, int cols, std::vector<double> bias, int n1,
+                               std::size_t tile)
+    : enc_(&enc),
+      weights_(std::move(weights)),
+      bias_(std::move(bias)),
+      rows_(rows),
+      cols_(cols),
+      tile_(tile == 0 ? enc.slot_count() : tile) {
+  const std::size_t slots = enc.slot_count();
+  sp::check(tile_ <= slots && slots % tile_ == 0,
+            "DiagonalMatVec: tile must divide the slot count");
+  sp::check_fmt(static_cast<std::size_t>(rows_) <= tile_ &&
+                    static_cast<std::size_t>(cols_) <= tile_,
+                "DiagonalMatVec: ", rows_, "x", cols_, " matrix exceeds the ", tile_,
+                "-slot layout");
+  sp::check(bias_.empty() || bias_.size() == static_cast<std::size_t>(rows_),
+            "DiagonalMatVec: bias must be empty or one value per output row");
+  plan_ = DiagMatVecPlan::make(weights_, rows_, cols_, n1);
+
+  std::uint64_t h = kFnvOffset;
+  h = fnv_mix(h, static_cast<std::uint64_t>(rows_));
+  h = fnv_mix(h, static_cast<std::uint64_t>(cols_));
+  h = fnv_mix(h, static_cast<std::uint64_t>(tile_));
+  h = fnv_mix(h, static_cast<std::uint64_t>(n1));
+  h = fnv_doubles(h, weights_);
+  h = fnv_doubles(h, bias_);
+  fingerprint_ = h;
+}
+
+std::vector<double> DiagonalMatVec::diagonal_slots(int s, int g) const {
+  const std::size_t slots = enc_->slot_count();
+  const int tile = static_cast<int>(tile_);
+  std::vector<double> v(slots, 0.0);
+  const int j_lo = std::max(0, -s);
+  const int j_hi = std::min(rows_, cols_ - s);
+  for (int j = j_lo; j < j_hi; ++j) {
+    const double w = weights_[static_cast<std::size_t>(j) * cols_ + (j + s)];
+    if (w == 0.0) continue;
+    // Pre-rotation by -g: the giant rotation of the block sum moves this
+    // entry back to slot j (mod tile), where diagonal s expects it.
+    const int at = ((j + g) % tile + tile) % tile;
+    for (std::size_t base = 0; base < slots; base += tile_)
+      v[base + static_cast<std::size_t>(at)] = w;
+  }
+  return v;
+}
+
+Ciphertext DiagonalMatVec::apply(Evaluator& ev, const Ciphertext& x,
+                                 const GaloisKeys& gk, bool hoist_babies,
+                                 double scale) const {
+  sp::check(x.size() == 2, "DiagonalMatVec::apply: input must be 2-part");
+  sp::check(x.level() >= 1, "DiagonalMatVec::apply: no level left for the rescale");
+  const int qc = x.q_count();
+
+  // Baby fan: rot(x, b) for every distinct nonzero baby step; b = 0 is x.
+  std::vector<Ciphertext> rotated;
+  if (!plan_.baby_steps.empty()) {
+    if (hoist_babies) {
+      rotated = ev.rotate_hoisted(x, plan_.baby_steps, gk);
+    } else {
+      rotated.reserve(plan_.baby_steps.size());
+      for (int b : plan_.baby_steps) rotated.push_back(ev.rotate(x, b, gk));
+    }
+  }
+  const auto baby = [&](int b) -> const Ciphertext& {
+    if (b == 0) return x;
+    const auto it =
+        std::lower_bound(plan_.baby_steps.begin(), plan_.baby_steps.end(), b);
+    return rotated[static_cast<std::size_t>(it - plan_.baby_steps.begin())];
+  };
+
+  // Giant groups, ascending step order (deterministic schedule). Every term
+  // sits at scale x.scale * `scale`, so additions are exact and one rescale
+  // at the join returns the sum to ~Delta. The diagonal plaintexts are
+  // cache-keyed by content; building the slot vector is deferred into the
+  // encoder so a warm cache skips it entirely.
+  const std::vector<int>& steps = plan_.diag_steps;
+  std::optional<Ciphertext> total;
+  std::size_t i = 0;
+  while (i < steps.size()) {
+    const int g = giant_of(steps[i], plan_.n1);
+    std::optional<Ciphertext> acc;
+    for (; i < steps.size() && giant_of(steps[i], plan_.n1) == g; ++i) {
+      const int s = steps[i];
+      Ciphertext term = baby(s - g);
+      const std::uint64_t key = fnv_mix(fingerprint_, static_cast<std::uint64_t>(
+                                                          static_cast<std::int64_t>(s)));
+      ev.multiply_plain_inplace(
+          term, enc_->encode_cached(key, scale, qc,
+                                    [&] { return diagonal_slots(s, g); }));
+      if (!acc) {
+        acc = std::move(term);
+      } else {
+        ev.add_inplace(*acc, term);
+      }
+    }
+    Ciphertext out_g = g == 0 ? std::move(*acc) : ev.rotate(*acc, g, gk);
+    if (!total) {
+      total = std::move(out_g);
+    } else {
+      ev.add_inplace(*total, out_g);
+    }
+  }
+  if (!total) {
+    // All-zero matrix: pay the same one-level schedule shape (mask to zero).
+    Ciphertext z = x;
+    ev.multiply_plain_inplace(z, enc_->encode_scalar(0.0, scale, qc));
+    total = std::move(z);
+  }
+  ev.rescale_inplace(*total);
+
+  if (std::any_of(bias_.begin(), bias_.end(), [](double b) { return b != 0.0; })) {
+    const std::uint64_t key = fnv_mix(fingerprint_, 0x62696173ULL /* "bias" */);
+    ev.add_plain_inplace(
+        *total, enc_->encode_cached(key, total->scale, total->q_count(), [&] {
+          std::vector<double> bv(enc_->slot_count(), 0.0);
+          for (std::size_t base = 0; base < bv.size(); base += tile_)
+            for (int j = 0; j < rows_; ++j)
+              bv[base + static_cast<std::size_t>(j)] =
+                  bias_[static_cast<std::size_t>(j)];
+          return bv;
+        }));
+  }
+  return std::move(*total);
+}
+
+}  // namespace sp::fhe

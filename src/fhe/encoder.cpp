@@ -105,6 +105,37 @@ Plaintext Encoder::encode_scalar(double value, double scale, int q_count) const 
   return pt;
 }
 
+const Plaintext& Encoder::encode_cached(std::uint64_t key,
+                                        const std::vector<double>& values,
+                                        double scale, int q_count) const {
+  return encode_cached(key, scale, q_count, [&values] { return values; });
+}
+
+const Plaintext& Encoder::encode_cached(
+    std::uint64_t key, double scale, int q_count,
+    const std::function<std::vector<double>()>& make) const {
+  const auto full_key = std::make_tuple(key, scale, q_count);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  const auto it = pt_cache_.find(full_key);
+  if (it != pt_cache_.end()) return it->second;
+  // Self-limit: a runaway caller (many distinct matrices) drops the whole
+  // store instead of growing without bound — which is why the header only
+  // promises reference stability until the next call. The limit is generous:
+  // one 784x784 matmul's diagonals plus masks stay far below it.
+  if (pt_cache_.size() >= 8192) pt_cache_.clear();
+  return pt_cache_.emplace(full_key, encode(make(), scale, q_count)).first->second;
+}
+
+void Encoder::clear_encode_cache() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  pt_cache_.clear();
+}
+
+std::size_t Encoder::encode_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return pt_cache_.size();
+}
+
 std::vector<double> Encoder::pack_slots(const std::vector<std::vector<double>>& inputs,
                                         std::size_t stride, std::size_t slot_count) {
   sp::check(stride >= 1, "Encoder::pack_slots: stride must be >= 1");

@@ -1,6 +1,11 @@
 #pragma once
 
 #include <complex>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "fhe/rns_poly.h"
@@ -35,6 +40,37 @@ class Encoder {
   /// Broadcast-encodes one scalar into all slots (constant polynomial; much
   /// cheaper than the FFT path).
   Plaintext encode_scalar(double value, double scale, int q_count) const;
+
+  /// @brief Content-addressed encode cache for plaintexts that recur across
+  /// evaluations — matrix diagonals, compaction masks, per-slot linear
+  /// coefficients.
+  ///
+  /// The first call for a (key, scale, q_count) triple encodes `values` and
+  /// caches the plaintext; later calls return the cached entry without
+  /// re-running the FFT. `key` is the caller's content fingerprint (e.g. a
+  /// hash of the diagonal's coefficients and position): the cache trusts it,
+  /// so two different value vectors under one key would alias — derive keys
+  /// from everything that determines the vector.
+  ///
+  /// Lookups are mutex-guarded, but the returned reference is only
+  /// guaranteed stable until the NEXT encode_cached call on this encoder:
+  /// the store self-limits by dropping every entry once it reaches its cap,
+  /// so consume the plaintext immediately (or copy it) rather than holding
+  /// the reference across further cache traffic.
+  const Plaintext& encode_cached(std::uint64_t key, const std::vector<double>& values,
+                                 double scale, int q_count) const;
+
+  /// @brief Same, building the slot vector lazily: `make` runs only on a
+  /// cache miss, so repeat evaluations skip both the FFT and the O(slots)
+  /// vector construction.
+  const Plaintext& encode_cached(std::uint64_t key, double scale, int q_count,
+                                 const std::function<std::vector<double>()>& make) const;
+
+  /// @brief Drops every cached plaintext (invalidates encode_cached refs).
+  void clear_encode_cache() const;
+
+  /// @brief Entries currently held by the encode_cached store.
+  std::size_t encode_cache_size() const;
 
   /// Inverse of encode() for a decrypted plaintext.
   std::vector<double> decode(const Plaintext& pt) const;
@@ -75,6 +111,11 @@ class Encoder {
   std::int64_t crt_centered(const std::vector<u64>& residues, int q_count) const;
 
   const CkksContext* ctx_;
+  // encode_cached store: (caller key, scale, q_count) -> plaintext. Node-based
+  // map so cached references survive later insertions; guarded for the
+  // BatchRunner helper thread.
+  mutable std::mutex cache_mu_;
+  mutable std::map<std::tuple<std::uint64_t, double, int>, Plaintext> pt_cache_;
   std::vector<std::size_t> rot_group_;            // 5^j mod 2N
   std::vector<std::complex<double>> twiddles_;    // e^(2*pi*i*k/(2N))
   // Garner precomputation: prod_q_mod_[k][j] = (q_0...q_{k-1}) mod q_j,

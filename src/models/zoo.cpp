@@ -1,5 +1,6 @@
 #include "models/zoo.h"
 
+#include "common/check.h"
 #include "nn/layers.h"
 
 namespace sp::models {
@@ -91,6 +92,24 @@ nn::Model cnn7(const ModelConfig& cfg) {
   net->add(std::make_unique<ReLU>("fc0.relu"));
   net->add(std::make_unique<Linear>(4 * w, cfg.num_classes, rng, true, "fc1"));
   return nn::Model(std::move(net), "cnn7");
+}
+
+nn::Model mlp_head(const MlpHeadConfig& cfg) {
+  sp::check(cfg.in_features >= 1 && cfg.hidden >= 1 && cfg.num_classes >= 1,
+            "mlp_head: dimensions must be positive");
+  sp::Rng rng(cfg.seed);
+  auto net = std::make_unique<Sequential>("mlp_head");
+  int fc_in = cfg.in_features;
+  if (cfg.pool_window >= 2) {
+    sp::check(cfg.pool_stride >= 1 && cfg.in_features % cfg.pool_stride == 0,
+              "mlp_head: pool_stride must divide in_features");
+    net->add(std::make_unique<nn::MaxPool1d>(cfg.pool_window, cfg.pool_stride, "pool"));
+    fc_in = cfg.in_features / cfg.pool_stride;
+  }
+  net->add(std::make_unique<Linear>(fc_in, cfg.hidden, rng, true, "fc0"));
+  net->add(std::make_unique<ReLU>("fc0.relu"));
+  net->add(std::make_unique<Linear>(cfg.hidden, cfg.num_classes, rng, true, "fc1"));
+  return nn::Model(std::move(net), "mlp_head");
 }
 
 }  // namespace sp::models

@@ -30,4 +30,28 @@ nn::Model vgg19(const ModelConfig& cfg);
 /// 3 conv-relu blocks with pooling + 1 hidden FC. Used for quick tests.
 nn::Model cnn7(const ModelConfig& cfg);
 
+/// Slot-aligned dense classifier head that lowers END TO END through
+/// smartpaf::FhePipeline: an optional strided 1-D max pool, then
+/// Linear -> ReLU -> Linear over [B, W] tensors. After replace_site /
+/// Static-Scaling conversion the pool becomes a PAF tournament +
+/// CompactStage and each Linear a diagonal-method MatMulStage, so the whole
+/// head runs under CKKS with < 2^-20 parity against the plaintext forward
+/// (tests/test_matmul.cpp pins it).
+struct MlpHeadConfig {
+  int in_features = 32;   ///< input width W (the logical slot width)
+  int hidden = 16;        ///< hidden layer size
+  int num_classes = 10;   ///< output size
+  /// 0 = no pooling stage; >= 2 prepends MaxPool1d(pool_window, pool_stride)
+  /// over the input (pool_stride must then divide in_features, and the first
+  /// Linear consumes in_features / pool_stride values). Keep
+  /// pool_window <= pool_stride for exact FHE parity at any width (the pool
+  /// then never wraps at W).
+  int pool_window = 0;
+  int pool_stride = 2;
+  std::uint64_t seed = 1;
+};
+
+/// The MLP head model; Linear layers sized per MlpHeadConfig.
+nn::Model mlp_head(const MlpHeadConfig& cfg);
+
 }  // namespace sp::models

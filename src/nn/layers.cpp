@@ -150,10 +150,18 @@ Tensor Linear::forward(const Tensor& x, bool train) {
   sp::check(x.ndim() == 2 && x.dim(1) == in_, "Linear: bad input " + x.shape_str());
   const int batch = x.dim(0);
   Tensor y({batch, out_});
-  matmul_nt(x.data(), w_.value.data(), y.data(), batch, in_, out_);
-  if (has_bias_)
-    for (int n = 0; n < batch; ++n)
-      for (int o = 0; o < out_; ++o) y.at(n, o) += b_.value[static_cast<std::size_t>(o)];
+  // Accumulate in double so the output rounds to float exactly once — this
+  // keeps the lowered FHE matmul within its 2^-20 parity budget (same
+  // contract as Window1d::forward).
+  for (int n = 0; n < batch; ++n)
+    for (int o = 0; o < out_; ++o) {
+      double acc = has_bias_ ? static_cast<double>(b_.value[static_cast<std::size_t>(o)])
+                             : 0.0;
+      const float* wrow = &w_.value.vec()[static_cast<std::size_t>(o) * in_];
+      for (int i = 0; i < in_; ++i)
+        acc += static_cast<double>(x.at(n, i)) * static_cast<double>(wrow[i]);
+      y.at(n, o) = static_cast<float>(acc);
+    }
   if (train) x_cache_ = x;
   return y;
 }
@@ -173,6 +181,21 @@ Tensor Linear::backward(const Tensor& gy) {
 void Linear::collect_params(std::vector<Param*>& out) {
   out.push_back(&w_);
   if (has_bias_) out.push_back(&b_);
+}
+
+std::vector<double> Linear::weight_values() const {
+  std::vector<double> out(w_.value.numel());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<double>(w_.value[i]);
+  return out;
+}
+
+std::vector<double> Linear::bias_values() const {
+  if (!has_bias_) return {};
+  std::vector<double> out(b_.value.numel());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<double>(b_.value[i]);
+  return out;
 }
 
 // ------------------------------------------------------------ BatchNorm2d --
@@ -423,25 +446,34 @@ MaxPool1d::MaxPool1d(int window, const std::string& name) : window_(window), nam
   sp::check(window_ >= 2, "MaxPool1d: window must be >= 2");
 }
 
+MaxPool1d::MaxPool1d(int window, int stride, const std::string& name)
+    : window_(window), stride_(stride), name_(name) {
+  sp::check(window_ >= 2, "MaxPool1d: window must be >= 2");
+  sp::check(stride_ >= 1, "MaxPool1d: stride must be >= 1");
+}
+
 Tensor MaxPool1d::forward(const Tensor& x, bool train) {
   sp::check(x.ndim() == 2, "MaxPool1d: expects [B, W], got " + x.shape_str());
   const int batch = x.dim(0), w = x.dim(1);
   sp::check(window_ <= w, "MaxPool1d: window wider than the slot count");
+  sp::check(w % stride_ == 0, "MaxPool1d: stride must divide the width");
+  const int ow = w / stride_;
   in_shape_ = x.shape();
-  Tensor y({batch, w});
+  Tensor y({batch, ow});
   if (train) argmax_.assign(y.numel(), -1);
   std::size_t oidx = 0;
   for (int n = 0; n < batch; ++n)
-    for (int j = 0; j < w; ++j, ++oidx) {
-      float best = x.at(n, j);
-      int best_idx = n * w + j;
+    for (int j = 0; j < ow; ++j, ++oidx) {
+      const int base = j * stride_;
+      float best = x.at(n, base);
+      int best_idx = n * w + base;
       for (int t = 1; t < window_; ++t) {
-        const float v = x.at(n, (j + t) % w);
+        const float v = x.at(n, (base + t) % w);
         // Pairwise tournament differences (the PAF-max operands).
         if (profile_) profile_(best - v);
         if (v > best) {
           best = v;
-          best_idx = n * w + (j + t) % w;
+          best_idx = n * w + (base + t) % w;
         }
       }
       y[oidx] = best;

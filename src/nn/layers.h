@@ -30,7 +30,10 @@ class Conv2d final : public Layer {
   int oh_ = 0, ow_ = 0;
 };
 
-/// Fully-connected layer.
+/// Fully-connected layer. forward() accumulates each output in double and
+/// rounds to float once, so the FHE diagonal-matmul lowering (which computes
+/// in double precision plus ciphertext noise) stays within its 2^-20 parity
+/// budget against the plaintext forward.
 class Linear final : public Layer {
  public:
   Linear(int in, int out, sp::Rng& rng, bool bias = true,
@@ -40,6 +43,13 @@ class Linear final : public Layer {
   Tensor backward(const Tensor& gy) override;
   void collect_params(std::vector<Param*>& out) override;
   std::string name() const override { return name_; }
+
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+  /// Row-major [out, in] weights as doubles (FhePipeline lowering).
+  std::vector<double> weight_values() const;
+  /// Bias as doubles; empty when the layer was built without bias.
+  std::vector<double> bias_values() const;
 
  private:
   int in_, out_;
@@ -150,13 +160,18 @@ class Window1d final : public Layer {
   Tensor x_cache_;
 };
 
-/// Cyclic 1-D max window over the last axis of [B, W] (stride 1):
-/// y[b, j] = max over t < window of x[b, (j + t) mod W]. A non-polynomial
-/// operator (replacement target -> smartpaf::PafMaxPool1d); the cyclic,
-/// stride-1 geometry keeps the output slot-aligned for FhePipeline lowering.
+/// Cyclic 1-D max window over the last axis of [B, W]:
+/// y[b, j] = max over t < window of x[b, (j * stride + t) mod W], one output
+/// per stride (output width W / stride; stride must divide W). A
+/// non-polynomial operator (replacement target -> smartpaf::PafMaxPool1d);
+/// the cyclic geometry keeps the output slot-aligned for FhePipeline
+/// lowering — stride 1 is the slot-identity layout, stride > 1 lowers to a
+/// stride-1 tournament stage plus a CompactStage. With window <= stride the
+/// pool never wraps at W, so plaintext/FHE parity holds at any width.
 class MaxPool1d final : public Layer {
  public:
   explicit MaxPool1d(int window, const std::string& name = "maxpool1d");
+  MaxPool1d(int window, int stride, const std::string& name = "maxpool1d");
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& gy) override;
@@ -164,6 +179,7 @@ class MaxPool1d final : public Layer {
   bool is_nonpoly() const override { return true; }
 
   int window() const { return window_; }
+  int stride() const { return stride_; }
 
   /// Profiling hook recording pairwise tournament differences (the PAF-max
   /// inputs), used by Coefficient Tuning for pool sites.
@@ -172,6 +188,7 @@ class MaxPool1d final : public Layer {
 
  private:
   int window_;
+  int stride_ = 1;
   std::string name_;
   std::vector<int> argmax_;
   std::vector<int> in_shape_;

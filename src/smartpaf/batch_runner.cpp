@@ -37,7 +37,15 @@ BatchRunner::BatchRunner(FheRuntime& rt, BatchConfig cfg, const CostModel& cost)
   if (!cfg_.window.empty()) builder.window(cfg_.window);
   builder.paf_relu(cfg_.paf, cfg_.input_scale);
   pipeline_ = builder.build();
-  plan_ = Planner::plan(pipeline_, rt_->ctx(), cost);
+  // Plan with the packing stride so width-changing stages (compact/matmul)
+  // would replicate their plaintexts per request; only meaningful when the
+  // stride tiles the slot vector exactly.
+  PlanOptions popts;
+  if (slots % cfg_.input_size == 0)
+    popts.pack_stride = static_cast<std::size_t>(cfg_.input_size);
+  plan_ = Planner::plan(pipeline_, rt_->ctx(), cost, popts);
+  output_size_ = static_cast<int>(
+      pipeline_.output_width(static_cast<std::size_t>(cfg_.input_size)));
   rt_->rotation_keys(plan_.rotation_steps());
 }
 
@@ -77,14 +85,15 @@ BatchRunner::Result BatchRunner::finish_prepared(Prepared prep, double prep_hidd
   timer.reset();
   const std::vector<double> got = rt_->decrypt(out);
   res.outputs = fhe::Encoder::unpack_slots(got, static_cast<std::size_t>(cfg_.input_size),
-                                           prep.inputs.size());
+                                           prep.inputs.size(),
+                                           static_cast<std::size_t>(output_size_));
   res.stats.decrypt_ms = timer.ms();
   res.stats.ops = ev.counters.delta_since(before);
 
-  const std::vector<double> ref = pipeline_.reference(prep.flat);
+  const std::vector<double> ref = pipeline_.reference(prep.flat, plan_.pack_stride);
   res.max_error.assign(prep.inputs.size(), 0.0);
   for (std::size_t b = 0; b < prep.inputs.size(); ++b)
-    for (int j = 0; j < cfg_.input_size; ++j) {
+    for (int j = 0; j < output_size_; ++j) {
       const std::size_t slot = b * static_cast<std::size_t>(cfg_.input_size) +
                                static_cast<std::size_t>(j);
       res.max_error[b] = std::max(

@@ -110,7 +110,8 @@ class BatchRunner {
   struct Result {
     /// Ticket ids, in packing order (run(): 0..B-1; drain(): submit ids).
     std::vector<std::uint64_t> ids;
-    /// Per-request outputs, `input_size` values each.
+    /// Per-request outputs, `output_size()` values each (== input_size for
+    /// width-preserving pipelines; smaller when the stage graph compacts).
     std::vector<std::vector<double>> outputs;
     /// Per-request max abs deviation from the plaintext pipeline reference.
     std::vector<double> max_error;
@@ -136,6 +137,11 @@ class BatchRunner {
   int capacity() const { return capacity_; }
   /// @brief Slots reserved per request.
   int input_size() const { return cfg_.input_size; }
+  /// @brief Values each request's output slice carries — the pipeline's
+  /// output width for an `input_size`-wide request. Width-preserving stage
+  /// graphs (window/PAF) keep it equal to input_size; compacting graphs
+  /// shrink it, and the per-segment capacity accounting follows this value.
+  int output_size() const { return output_size_; }
   const BatchConfig& config() const { return cfg_; }
 
   /// @brief The pipeline the config lowered to.
@@ -213,6 +219,7 @@ class BatchRunner {
   FheRuntime* rt_;
   BatchConfig cfg_;
   int capacity_ = 0;
+  int output_size_ = 0;  ///< per-request output width (see output_size())
   FhePipeline pipeline_;  ///< cfg_ lowered to a stage graph
   Plan plan_;             ///< fixed schedule for every packed ciphertext
   bool overlap_ = true;

@@ -19,10 +19,6 @@ FheRuntime::FheRuntime(const fhe::CkksParams& params, std::uint64_t seed) {
   paf_eval_ = std::make_unique<fhe::PafEvaluator>(*ctx_, *encoder_, *relin_);
 }
 
-fhe::GaloisKeys FheRuntime::galois_keys(const std::vector<int>& steps) {
-  return keygen_->galois_keys(steps);
-}
-
 const fhe::GaloisKeys& FheRuntime::rotation_keys(const std::vector<int>& steps) {
   std::vector<int> missing;
   for (int s : steps) {

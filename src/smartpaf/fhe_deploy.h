@@ -34,14 +34,6 @@ class FheRuntime {
   /// @brief Relinearization key generated at construction.
   const fhe::KSwitchKey& relin_key() const { return *relin_; }
 
-  /// @brief DEPRECATED shim: generates a FRESH key set for the given steps
-  /// on every call, so repeated callers hold duplicate Galois keys. Prefer
-  /// rotation_keys(), which deduplicates across every stage and call site.
-  /// Kept so existing call sites compile unchanged.
-  /// @param steps  slot offsets (positive = left); duplicates are fine
-  /// @return keys indexed by Galois element, one per distinct step
-  fhe::GaloisKeys galois_keys(const std::vector<int>& steps);
-
   /// @brief Shared, deduplicated rotation-key store: generates keys only for
   /// steps whose Galois element is not yet covered and returns the runtime's
   /// one key set (stable reference; later calls may extend it in place).

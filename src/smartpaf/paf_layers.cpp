@@ -120,20 +120,32 @@ PafMaxPool1d::PafMaxPool1d(approx::CompositePaf paf, int window, std::string nam
   sp::check(window_ >= 2, "PafMaxPool1d: window must be >= 2");
 }
 
+PafMaxPool1d::PafMaxPool1d(approx::CompositePaf paf, int window, int stride,
+                           std::string name, ScaleMode mode, bool odd_only)
+    : PafLayerBase(std::move(paf), std::move(name), mode, odd_only),
+      window_(window),
+      stride_(stride) {
+  sp::check(window_ >= 2, "PafMaxPool1d: window must be >= 2");
+  sp::check(stride_ >= 1, "PafMaxPool1d: stride must be >= 1");
+}
+
 nn::Tensor PafMaxPool1d::forward(const nn::Tensor& x, bool train) {
   sync_coeffs();
   sp::check(x.ndim() == 2, "PafMaxPool1d: expects [B, W], got " + x.shape_str());
   const int batch = x.dim(0), w = x.dim(1);
   sp::check(window_ <= w, "PafMaxPool1d: window wider than the slot count");
+  sp::check(w % stride_ == 0, "PafMaxPool1d: stride must divide the width");
+  const int ow = w / stride_;
 
   // Scale = batch max per-window spread, an upper bound on every pairwise
   // difference the tournament feeds to the PAF.
   float spread = 0.0f;
   for (int n = 0; n < batch; ++n)
-    for (int j = 0; j < w; ++j) {
-      float lo = x.at(n, j), hi = lo;
+    for (int j = 0; j < ow; ++j) {
+      const int base = j * stride_;
+      float lo = x.at(n, base), hi = lo;
       for (int t = 1; t < window_; ++t) {
-        const float v = x.at(n, (j + t) % w);
+        const float v = x.at(n, (base + t) % w);
         lo = std::min(lo, v);
         hi = std::max(hi, v);
       }
@@ -142,14 +154,15 @@ nn::Tensor PafMaxPool1d::forward(const nn::Tensor& x, bool train) {
   scale_used_ = resolve_scale(spread, train);
   const double s = scale_used_;
 
-  nn::Tensor y({batch, w});
+  nn::Tensor y({batch, ow});
   for (int n = 0; n < batch; ++n)
-    for (int j = 0; j < w; ++j) {
+    for (int j = 0; j < ow; ++j) {
       // The fold runs in double and rounds once on store, matching the
       // encrypted tournament's step order exactly.
-      double m = x.at(n, j);
+      const int base = j * stride_;
+      double m = x.at(n, base);
       for (int t = 1; t < window_; ++t) {
-        const double v = x.at(n, (j + t) % w);
+        const double v = x.at(n, (base + t) % w);
         const double d = m - v;
         m = 0.5 * ((m + v) + d * paf_(d / s));
       }
@@ -162,6 +175,7 @@ nn::Tensor PafMaxPool1d::forward(const nn::Tensor& x, bool train) {
 nn::Tensor PafMaxPool1d::backward(const nn::Tensor& gy) {
   const nn::Tensor& x = x_cache_;
   const int batch = x.dim(0), w = x.dim(1);
+  const int ow = w / stride_;
   nn::Tensor gx({batch, w});
   const double s = scale_used_;
   const auto n_coeff = static_cast<std::size_t>(paf_.num_coeffs());
@@ -175,7 +189,8 @@ nn::Tensor PafMaxPool1d::backward(const nn::Tensor& gy) {
   fold_dc_.resize(count * n_coeff);
 
   for (int n = 0; n < batch; ++n)
-    for (int j = 0; j < w; ++j) {
+    for (int jo = 0; jo < ow; ++jo) {
+      const int j = jo * stride_;
       fold_m_[0] = x.at(n, j);
       for (std::size_t i = 1; i < count; ++i) {
         const double a = fold_m_[i - 1];
@@ -191,7 +206,7 @@ nn::Tensor PafMaxPool1d::backward(const nn::Tensor& gy) {
         for (std::size_t k = 0; k < n_coeff; ++k)
           fold_dc_[i * n_coeff + k] = 0.5 * d * cg_local[k];
       }
-      double g = gy.at(n, j);
+      double g = gy.at(n, jo);
       for (std::size_t i = count; i-- > 1;) {
         gx.at(n, (j + static_cast<int>(i)) % w) += static_cast<float>(g * fold_dv_[i]);
         for (std::size_t k = 0; k < n_coeff; ++k) cg[k] += g * fold_dc_[i * n_coeff + k];

@@ -76,23 +76,29 @@ class PafActivation final : public PafLayerBase {
 };
 
 /// nn::MaxPool1d replaced by the cyclic pairwise PAF-max tournament over a
-/// [B, W] tensor: y[b, j] folds max over x[b, j..j+window-1] (cyclic) as
-/// m <- 0.5 ((m + v) + (m - v) · paf((m - v)/s)). The fold order matches
-/// the encrypted MaxPool stage of smartpaf::FhePipeline step for step, so a
+/// [B, W] tensor: y[b, j] folds max over x[b, j*stride..j*stride+window-1]
+/// (cyclic) as m <- 0.5 ((m + v) + (m - v) · paf((m - v)/s)), one output per
+/// stride (output width W / stride). The fold order matches the encrypted
+/// MaxPool stage of smartpaf::FhePipeline step for step — a stride > 1 pool
+/// lowers to the stride-1 tournament stage plus a CompactStage — so a
 /// lowered network's plaintext forward and its FHE evaluation agree to
 /// ciphertext noise.
 class PafMaxPool1d final : public PafLayerBase {
  public:
   PafMaxPool1d(approx::CompositePaf paf, int window, std::string name,
                ScaleMode mode = ScaleMode::Dynamic, bool odd_only = true);
+  PafMaxPool1d(approx::CompositePaf paf, int window, int stride, std::string name,
+               ScaleMode mode = ScaleMode::Dynamic, bool odd_only = true);
 
   nn::Tensor forward(const nn::Tensor& x, bool train) override;
   nn::Tensor backward(const nn::Tensor& gy) override;
 
   int window() const { return window_; }
+  int stride() const { return stride_; }
 
  private:
   int window_;
+  int stride_ = 1;
   nn::Tensor x_cache_;
   float scale_used_ = 1.0f;
   // Backward scratch (reused across slots to avoid per-slot allocation).

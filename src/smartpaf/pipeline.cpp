@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/hash.h"
+#include "fhe/diag_matvec.h"
 #include "nn/layers.h"
 #include "smartpaf/fhe_deploy.h"
 #include "smartpaf/pipeline_planner.h"
@@ -42,6 +45,26 @@ std::string paf_label(const char* kind, const PafStage& paf) {
   if (!paf.paf.name().empty()) os << paf.paf.name() << " ";
   os << "d" << paf.paf.mult_depth() << "]";
   return os.str();
+}
+
+/// Content key for a compaction mask in the encoder's plaintext cache.
+std::uint64_t compact_mask_key(std::size_t width, int stride, std::size_t tile,
+                               std::size_t i) {
+  std::uint64_t h = sp::fnv_mix(sp::kFnvOffset, 0x636f6d7061637421ULL);  // "compact!"
+  for (std::uint64_t v : {static_cast<std::uint64_t>(width),
+                          static_cast<std::uint64_t>(stride),
+                          static_cast<std::uint64_t>(tile),
+                          static_cast<std::uint64_t>(i)})
+    h = sp::fnv_mix(h, v);
+  return h;
+}
+
+/// Content key for a per-slot linear coefficient vector: the stage executes
+/// every run with identical values, so repeat runs hit the encoder's cache
+/// instead of paying the encode FFT again.
+std::uint64_t linear_vec_key(const std::vector<double>& values, std::uint64_t tag) {
+  return sp::fnv_doubles(sp::fnv_mix(sp::kFnvOffset, 0x6c696e65617221ULL ^ tag),
+                         values);  // "linear!"
 }
 
 /// Restores the shared PafEvaluator's knobs after a per-stage override.
@@ -87,6 +110,34 @@ FhePipeline::Builder& FhePipeline::Builder::window(std::vector<double> taps,
   return *this;
 }
 
+FhePipeline::Builder& FhePipeline::Builder::matmul(int rows, int cols,
+                                                   std::vector<double> weights,
+                                                   std::vector<double> bias) {
+  sp::check(rows >= 1 && cols >= 1, "FhePipeline: matmul needs positive dimensions");
+  sp::check(weights.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            "FhePipeline: matmul weights must be row-major rows x cols");
+  sp::check(bias.empty() || bias.size() == static_cast<std::size_t>(rows),
+            "FhePipeline: matmul bias must be empty or one value per row");
+  std::ostringstream os;
+  os << "matmul[" << rows << "x" << cols << (bias.empty() ? "]" : " +b]");
+  stages_.push_back(
+      Stage{MatMulStage{rows, cols, std::move(weights), std::move(bias)}, os.str()});
+  return *this;
+}
+
+FhePipeline::Builder& FhePipeline::Builder::compact(int stride) {
+  sp::check(stride >= 2, "FhePipeline: compact stride must be >= 2");
+  std::ostringstream os;
+  os << "compact[/" << stride << "]";
+  stages_.push_back(Stage{CompactStage{stride}, os.str()});
+  return *this;
+}
+
+FhePipeline::Builder& FhePipeline::Builder::input_width(std::size_t width) {
+  input_width_ = width;
+  return *this;
+}
+
 FhePipeline::Builder& FhePipeline::Builder::paf_relu(approx::CompositePaf paf,
                                                      double input_scale) {
   sp::check(!paf.stages().empty(), "FhePipeline: PAF-ReLU stage needs a PAF");
@@ -126,6 +177,7 @@ FhePipeline FhePipeline::Builder::build() {
   FhePipeline pipe;
   pipe.stages_ = std::move(stages_);
   pipe.policy_ = policy_;
+  pipe.input_width_ = input_width_;
   return pipe;
 }
 
@@ -150,6 +202,11 @@ void lower_layer(const nn::Layer& layer, FhePipeline::Builder& b) {
     }
     return;
   }
+  if (const auto* lin = dynamic_cast<const nn::Linear*>(&layer)) {
+    b.matmul(lin->out_features(), lin->in_features(), lin->weight_values(),
+             lin->bias_values());
+    return;
+  }
   if (const auto* paf = dynamic_cast<const PafLayerBase*>(&layer)) {
     sp::check_fmt(paf->mode() == ScaleMode::Static, "FhePipeline::lower: PAF layer '",
                   layer.name(),
@@ -159,8 +216,12 @@ void lower_layer(const nn::Layer& layer, FhePipeline::Builder& b) {
       return;
     }
     if (const auto* pool = dynamic_cast<const PafMaxPool1d*>(&layer)) {
+      // The stride-1 tournament is SIMD-free at every slot; a stride > 1
+      // pool keeps the same tournament stage and re-packs the sampled slots
+      // densely afterwards.
       b.paf_maxpool(pool->paf(), static_cast<double>(pool->static_scale()),
                     pool->window());
+      if (pool->stride() > 1) b.compact(pool->stride());
       return;
     }
     throw sp::Error("FhePipeline::lower: PAF layer '" + layer.name() +
@@ -175,19 +236,22 @@ void lower_layer(const nn::Layer& layer, FhePipeline::Builder& b) {
     throw sp::Error("FhePipeline::lower: non-polynomial site '" + layer.name() +
                     "' was not replaced; run smartpaf::replace_all first");
   throw sp::Error("FhePipeline::lower: unsupported layer '" + layer.name() +
-                  "' (supported: Sequential, Window1d, PafActivation, PafMaxPool1d, "
-                  "Flatten, Dropout)");
+                  "' (supported: Sequential, Window1d, Linear, PafActivation, "
+                  "PafMaxPool1d, Flatten, Dropout)");
 }
 
 }  // namespace
 
-FhePipeline FhePipeline::lower(const nn::Layer& root) {
+FhePipeline FhePipeline::lower(const nn::Layer& root, std::size_t input_width) {
   Builder b = builder();
+  b.input_width(input_width);
   lower_layer(root, b);
   return b.build();
 }
 
-FhePipeline FhePipeline::lower(const nn::Model& model) { return lower(model.root()); }
+FhePipeline FhePipeline::lower(const nn::Model& model, std::size_t input_width) {
+  return lower(model.root(), input_width);
+}
 
 // ------------------------------------------------------------------ Queries --
 
@@ -195,6 +259,8 @@ int stage_levels(const Stage& stage) {
   if (const auto* lin = std::get_if<LinearStage>(&stage.op))
     return linear_scale_is_identity(*lin) ? 0 : 1;
   if (std::get_if<WindowStage>(&stage.op) != nullptr) return 1;
+  if (std::get_if<MatMulStage>(&stage.op) != nullptr) return 1;
+  if (std::get_if<CompactStage>(&stage.op) != nullptr) return 1;
   const auto& paf = std::get<PafStage>(stage.op);
   const int per_act = paf.paf.mult_depth() + 2;
   return paf.kind == SiteKind::MaxPool ? (paf.pool_window - 1) * per_act : per_act;
@@ -218,11 +284,71 @@ int FhePipeline::mult_depth() const {
   return total;
 }
 
-std::vector<double> FhePipeline::reference(const std::vector<double>& slots) const {
+std::vector<std::pair<std::size_t, std::size_t>> FhePipeline::stage_widths(
+    std::size_t fallback) const {
+  std::vector<std::pair<std::size_t, std::size_t>> widths;
+  widths.reserve(stages_.size());
+  std::size_t w = input_width_ != 0 ? input_width_ : fallback;
+  for (const Stage& st : stages_) {
+    const std::size_t w_in = w;
+    if (const auto* mm = std::get_if<MatMulStage>(&st.op)) {
+      w = static_cast<std::size_t>(mm->rows);
+    } else if (const auto* cp = std::get_if<CompactStage>(&st.op)) {
+      // Truncating division mirrors a pool that drops a ragged tail; the
+      // planner rejects non-dividing widths before anything executes.
+      w = w / static_cast<std::size_t>(cp->stride);
+    }
+    widths.emplace_back(w_in, w);
+  }
+  return widths;
+}
+
+std::size_t FhePipeline::output_width(std::size_t fallback) const {
+  const auto widths = stage_widths(fallback);
+  return widths.empty() ? fallback : widths.back().second;
+}
+
+std::vector<double> FhePipeline::reference(const std::vector<double>& slots,
+                                           std::size_t pack_stride) const {
   std::vector<double> v = slots;
   const std::size_t w = v.size();
   sp::check(w > 0, "FhePipeline::reference: empty slot vector");
+  const std::size_t tile = pack_stride != 0 ? pack_stride : w;
+  sp::check(tile <= w && w % tile == 0,
+            "FhePipeline::reference: pack stride must divide the slot vector");
+  // Logical data width tracked through MatMul/Compact stages (the cyclic
+  // Linear/Window/Paf stages act on the whole slot vector regardless).
+  std::size_t width = input_width_ != 0 ? std::min(input_width_, tile) : tile;
   for (const Stage& st : stages_) {
+    if (const auto* mm = std::get_if<MatMulStage>(&st.op)) {
+      sp::check(static_cast<std::size_t>(mm->cols) <= tile,
+                "FhePipeline::reference: matmul wider than the slot layout");
+      // Per-tile product, mirroring run()'s replicated diagonals.
+      std::vector<double> y(w, 0.0);
+      for (std::size_t base = 0; base < w; base += tile)
+        for (int i = 0; i < mm->rows; ++i) {
+          double acc = mm->bias.empty() ? 0.0 : mm->bias[static_cast<std::size_t>(i)];
+          for (int c = 0; c < mm->cols; ++c)
+            acc += mm->weights[static_cast<std::size_t>(i) * mm->cols + c] *
+                   v[base + static_cast<std::size_t>(c)];
+          y[base + static_cast<std::size_t>(i)] = acc;
+        }
+      v = std::move(y);
+      width = static_cast<std::size_t>(mm->rows);
+      continue;
+    }
+    if (const auto* cp = std::get_if<CompactStage>(&st.op)) {
+      const auto stride = static_cast<std::size_t>(cp->stride);
+      sp::check(stride <= width && width % stride == 0,
+                "FhePipeline::reference: compact stride must divide the width");
+      const std::size_t count = width / stride;
+      std::vector<double> y(w, 0.0);
+      for (std::size_t base = 0; base < w; base += tile)
+        for (std::size_t i = 0; i < count; ++i) y[base + i] = v[base + i * stride];
+      v = std::move(y);
+      width = count;
+      continue;
+    }
     if (const auto* lin = std::get_if<LinearStage>(&st.op)) {
       for (std::size_t j = 0; j < w; ++j) {
         const double s = lin->scale[lin->scale.size() == 1 ? 0 : j];
@@ -285,21 +411,76 @@ fhe::Ciphertext FhePipeline::run(FheRuntime& rt, const Plan& plan,
     if (sp_.folded) continue;  // absorbed into a later PAF stage's envelope
 
     if (const auto* lin = std::get_if<LinearStage>(&st.op)) {
-      if (!linear_scale_is_identity(*lin)) {
-        const fhe::Plaintext pt =
-            lin->scale.size() == 1
-                ? enc.encode_scalar(lin->scale[0], delta, cur.q_count())
-                : enc.encode(lin->scale, delta, cur.q_count());
-        ev.multiply_plain_inplace(cur, pt);
+      // A merge pass may have combined a run of adjacent linear stages into
+      // this one; the plan then carries the combined coefficients.
+      const LinearStage& eff = sp_.merged_linear ? *sp_.merged_linear : *lin;
+      if (!linear_scale_is_identity(eff)) {
+        // Scalar scales are cheap constant polynomials; per-slot vectors pay
+        // an encode FFT, so those route through the encoder's cache.
+        if (eff.scale.size() == 1) {
+          ev.multiply_plain_inplace(cur,
+                                    enc.encode_scalar(eff.scale[0], delta, cur.q_count()));
+        } else {
+          ev.multiply_plain_inplace(
+              cur, enc.encode_cached(linear_vec_key(eff.scale, 1), delta,
+                                     cur.q_count(), [&] { return eff.scale; }));
+        }
         ev.rescale_inplace(cur);
       }
-      if (linear_has_bias(*lin)) {
-        const fhe::Plaintext bt =
-            lin->bias.size() == 1
-                ? enc.encode_scalar(lin->bias[0], cur.scale, cur.q_count())
-                : enc.encode(lin->bias, cur.scale, cur.q_count());
-        ev.add_plain_inplace(cur, bt);
+      if (linear_has_bias(eff)) {
+        if (eff.bias.size() == 1) {
+          ev.add_plain_inplace(cur,
+                               enc.encode_scalar(eff.bias[0], cur.scale, cur.q_count()));
+        } else {
+          ev.add_plain_inplace(
+              cur, enc.encode_cached(linear_vec_key(eff.bias, 2), cur.scale,
+                                     cur.q_count(), [&] { return eff.bias; }));
+        }
       }
+      continue;
+    }
+
+    if (const auto* mm = std::get_if<MatMulStage>(&st.op)) {
+      const fhe::DiagonalMatVec mv(enc, mm->weights, mm->rows, mm->cols, mm->bias,
+                                   sp_.bsgs_n1 > 0 ? sp_.bsgs_n1 : 1,
+                                   plan.pack_stride);
+      std::vector<int> steps = sp_.rotation_steps;
+      steps.insert(steps.end(), sp_.giant_steps.begin(), sp_.giant_steps.end());
+      cur = mv.apply(ev, cur, rt.rotation_keys(steps), sp_.hoist_fan, delta);
+      continue;
+    }
+
+    if (const auto* cp = std::get_if<CompactStage>(&st.op)) {
+      // Masked selection fan: output slot i takes x[i * stride], i.e. the
+      // term rot(x, i * (stride - 1)) under the one-hot mask at slot i; all
+      // terms share the Delta mask scale, so one rescale closes the stage.
+      const std::size_t tile =
+          plan.pack_stride != 0 ? plan.pack_stride : rt.ctx().slot_count();
+      const auto stride = static_cast<std::size_t>(cp->stride);
+      const std::size_t count = sp_.width_in / stride;
+      std::vector<fhe::Ciphertext> rotated;
+      if (!sp_.rotation_steps.empty())
+        rotated = rotate_fan(ev, cur, sp_.rotation_steps,
+                             rt.rotation_keys(sp_.rotation_steps), sp_.hoist_fan);
+      const auto mask = [&](std::size_t i) -> const fhe::Plaintext& {
+        return enc.encode_cached(
+            compact_mask_key(sp_.width_in, cp->stride, tile, i), delta,
+            cur.q_count(), [&] {
+              std::vector<double> m(rt.ctx().slot_count(), 0.0);
+              for (std::size_t base = 0; base < m.size(); base += tile)
+                m[base + i] = 1.0;
+              return m;
+            });
+      };
+      fhe::Ciphertext acc = cur;
+      ev.multiply_plain_inplace(acc, mask(0));
+      for (std::size_t i = 1; i < count; ++i) {
+        fhe::Ciphertext& term = rotated[i - 1];
+        ev.multiply_plain_inplace(term, mask(i));
+        ev.add_inplace(acc, term);
+      }
+      ev.rescale_inplace(acc);
+      cur = std::move(acc);
       continue;
     }
 

@@ -45,6 +45,31 @@ struct WindowStage {
   double bias = 0.0;
 };
 
+/// General dense matrix-vector stage (Halevi–Shoup diagonal method): the
+/// input vector occupies slots [0, cols) of its layout and the product
+/// y = W x (+ bias) lands in slots [0, rows), zero elsewhere. Executed as a
+/// baby-step/giant-step rotation fan over the matrix's extended diagonals
+/// (fhe::DiagonalMatVec); the planner picks the n1 x n2 split from the cost
+/// table. Consumes one level, no relinearizations. This is what nn::Linear
+/// lowers to.
+struct MatMulStage {
+  int rows = 0;                 ///< output dimension
+  int cols = 0;                 ///< input dimension (must match the tracked width)
+  std::vector<double> weights;  ///< row-major rows x cols
+  std::vector<double> bias;     ///< empty, or one value per output row
+};
+
+/// Slot-compaction stage after a strided pooling: keeps every `stride`-th
+/// slot of the tracked input width W, re-packed densely —
+/// y[i] = x[i * stride] for i < W / stride, zero elsewhere — so downstream
+/// stages (matmul, further pooling) see a dense layout again. Executed as a
+/// hoistable rotation fan of W/stride selection masks; consumes one level
+/// (the mask multiplications). This is what a stride > 1 PafMaxPool1d lowers
+/// to, right after its stride-1 tournament stage.
+struct CompactStage {
+  int stride = 2;  ///< subsampling factor (>= 2; must divide the width)
+};
+
 /// Non-polynomial stage: a Static-Scaling PAF activation.
 ///
 /// `ReLU`: relu(x) ≈ 0.5 x (1 + paf(x / input_scale)), consuming
@@ -61,7 +86,7 @@ struct PafStage {
 
 /// One pipeline stage (tagged union) plus its display label.
 struct Stage {
-  std::variant<LinearStage, WindowStage, PafStage> op;
+  std::variant<LinearStage, WindowStage, PafStage, MatMulStage, CompactStage> op;
   std::string label;
 };
 
@@ -87,6 +112,16 @@ class FhePipeline {
     Builder& linear(double scale, double bias = 0.0);
     /// @brief Cyclic rotation-fan window stage.
     Builder& window(std::vector<double> taps, double bias = 0.0);
+    /// @brief Dense matrix-vector stage (row-major rows x cols weights).
+    Builder& matmul(int rows, int cols, std::vector<double> weights,
+                    std::vector<double> bias = {});
+    /// @brief Strided-pooling slot compaction (keep every stride-th slot).
+    Builder& compact(int stride);
+    /// @brief Declares the logical data width of the pipeline input (how
+    /// many leading slots carry values). 0 (default) = the full slot vector;
+    /// required for CompactStage counts and MatMul width validation when the
+    /// data is narrower than the ciphertext.
+    Builder& input_width(std::size_t width);
     /// @brief Static-Scaling PAF-ReLU stage.
     Builder& paf_relu(approx::CompositePaf paf, double input_scale);
     /// @brief Cyclic PAF-MaxPool tournament stage over `pool_window` slots.
@@ -99,6 +134,7 @@ class FhePipeline {
    private:
     std::vector<Stage> stages_;
     RescalePolicy policy_ = RescalePolicy::FoldScalars;
+    std::size_t input_width_ = 0;
   };
 
   /// @brief Starts a fluent build.
@@ -121,12 +157,29 @@ class FhePipeline {
   /// W == slot_count (what tests/test_pipeline.cpp pins); at smaller W the
   /// last window-1 slots of the ciphertext blend across the W boundary,
   /// just like BatchRunner's packed-request window caveat.
-  static FhePipeline lower(const nn::Model& model);
+  /// `input_width` declares the logical data width of the encrypted input
+  /// (0 = full slot vector); nn::Linear layers lower to MatMulStage and
+  /// stride > 1 PafMaxPool1d layers to a PafStage + CompactStage pair, both
+  /// of which need the tracked width.
+  static FhePipeline lower(const nn::Model& model, std::size_t input_width = 0);
   /// @brief Same, from a bare root layer.
-  static FhePipeline lower(const nn::Layer& root);
+  static FhePipeline lower(const nn::Layer& root, std::size_t input_width = 0);
 
   const std::vector<Stage>& stages() const { return stages_; }
   RescalePolicy rescale_policy() const { return policy_; }
+  /// @brief Declared logical width of the input data (0 = full slot vector).
+  std::size_t input_width() const { return input_width_; }
+
+  /// @brief Per-stage (width_in, width_out) slot-layout tracking: linear,
+  /// window and PAF stages preserve the width, MatMul maps cols -> rows and
+  /// Compact maps W -> W / stride. `fallback` resolves a 0 input width (pass
+  /// the slot count, or the packing stride for packed layouts).
+  std::vector<std::pair<std::size_t, std::size_t>> stage_widths(
+      std::size_t fallback) const;
+
+  /// @brief Width of the pipeline output given the resolved input width —
+  /// what BatchRunner sizes its per-request output slices with.
+  std::size_t output_width(std::size_t fallback) const;
 
   /// @brief Levels the pipeline consumes when executed literally (no
   /// folding); the FoldScalars plan may use fewer.
@@ -134,8 +187,12 @@ class FhePipeline {
 
   /// @brief Plaintext mirror of the pipeline over a full slot vector
   /// (double precision, cyclic semantics — exactly what run() computes up
-  /// to ciphertext noise).
-  std::vector<double> reference(const std::vector<double>& slots) const;
+  /// to ciphertext noise). `pack_stride` mirrors the plan's packed layout:
+  /// MatMul/Compact stages then repeat per `pack_stride`-slot tile, exactly
+  /// as run() replicates their diagonals and masks (0 = one layout over the
+  /// whole vector).
+  std::vector<double> reference(const std::vector<double>& slots,
+                                std::size_t pack_stride = 0) const;
 
   /// @brief Executes a planned pipeline on `in` (top-level ciphertext).
   ///
@@ -154,6 +211,7 @@ class FhePipeline {
  private:
   std::vector<Stage> stages_;
   RescalePolicy policy_ = RescalePolicy::FoldScalars;
+  std::size_t input_width_ = 0;
 };
 
 /// @brief True when the linear stage's scale is identically 1 (bias-only
@@ -165,12 +223,15 @@ bool linear_scale_is_identity(const LinearStage& lin);
 bool linear_has_bias(const LinearStage& lin);
 
 /// @brief Levels `stage` consumes when executed literally (no folding):
-/// linear 1 (0 when the scale is identically 1), window 1, PAF-ReLU
-/// depth + 2, PAF-MaxPool (pool_window - 1) * (depth + 2).
+/// linear 1 (0 when the scale is identically 1), window 1, matmul 1,
+/// compact 1, PAF-ReLU depth + 2, PAF-MaxPool
+/// (pool_window - 1) * (depth + 2).
 int stage_levels(const Stage& stage);
 
 /// @brief Slot-rotation steps the stage's fan needs (1..k-1 for window and
-/// MaxPool stages; empty otherwise).
+/// MaxPool stages; empty otherwise — MatMul and Compact fans depend on the
+/// BSGS split / tracked width, which the Planner resolves into
+/// StagePlan::rotation_steps / giant_steps).
 std::vector<int> stage_rotation_steps(const Stage& stage);
 
 }  // namespace sp::smartpaf

@@ -1,6 +1,7 @@
 #include "smartpaf/pipeline_planner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
@@ -11,6 +12,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/timer.h"
+#include "fhe/diag_matvec.h"
 #include "smartpaf/fhe_deploy.h"
 
 namespace sp::smartpaf {
@@ -183,16 +185,28 @@ std::string Plan::describe() const {
     const StagePlan& s = stages[i];
     os << "  [" << i << "] " << std::left << std::setw(26) << s.label << std::right;
     if (s.folded) {
-      os << "folded into the next PAF stage\n";
+      os << (s.merged_into_next ? "merged into the next linear stage\n"
+                                : "folded into the next PAF stage\n");
       continue;
     }
     os << "L" << s.level_in << "->L" << s.level_out;
+    if (s.width_in != s.width_out) os << "  w" << s.width_in << "->" << s.width_out;
     if (!s.rotation_steps.empty()) {
-      os << "  fan{";
-      for (std::size_t t = 0; t < s.rotation_steps.size(); ++t)
-        os << (t ? "," : "") << s.rotation_steps[t];
-      os << "}" << (s.hoist_fan ? " hoisted" : " naive");
+      if (s.rotation_steps.size() <= 8) {
+        os << "  fan{";
+        for (std::size_t t = 0; t < s.rotation_steps.size(); ++t)
+          os << (t ? "," : "") << s.rotation_steps[t];
+        os << "}";
+      } else {
+        os << "  fan[" << s.rotation_steps.size() << " steps]";
+      }
+      os << (s.hoist_fan ? " hoisted" : " naive");
     }
+    if (s.bsgs_n1 > 0) {
+      os << "  bsgs n1=" << s.bsgs_n1 << " giants=" << s.giant_steps.size()
+         << " diags=" << s.diag_mults;
+    }
+    if (s.merged_linear) os << "  (executes a merged linear run)";
     if (s.ops.ct_mults > 0) {
       os << "  " << (s.strategy == fhe::PafEvaluator::Strategy::BSGS ? "BSGS" : "Ladder")
          << (s.lazy_relin ? " lazy-relin" : " eager-relin") << "  " << s.ops.ct_mults
@@ -206,12 +220,44 @@ std::string Plan::describe() const {
 
 std::vector<int> Plan::rotation_steps() const {
   std::set<int> uniq;
-  for (const StagePlan& s : stages)
+  for (const StagePlan& s : stages) {
     for (int step : s.rotation_steps) uniq.insert(step);
+    for (int step : s.giant_steps) uniq.insert(step);
+  }
   return std::vector<int>(uniq.begin(), uniq.end());
 }
 
 // ------------------------------------------------------------------ Planner --
+
+namespace {
+
+/// y = s2 * (s1 * x + b1) + b2 collapsed into one affine stage (broadcast
+/// rules: size-1 vectors apply to every slot; empty bias = 0).
+LinearStage compose_linear(const LinearStage& first, const LinearStage& second) {
+  const auto at = [](const std::vector<double>& v, std::size_t j, double dflt) {
+    if (v.empty()) return dflt;
+    return v[v.size() == 1 ? 0 : j];
+  };
+  const std::size_t n =
+      std::max({first.scale.size(), first.bias.size(), second.scale.size(),
+                second.bias.size(), std::size_t{1}});
+  LinearStage out;
+  out.scale.resize(n);
+  out.bias.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double s1 = at(first.scale, j, 1.0);
+    const double b1 = at(first.bias, j, 0.0);
+    const double s2 = at(second.scale, j, 1.0);
+    const double b2 = at(second.bias, j, 0.0);
+    out.scale[j] = s2 * s1;
+    out.bias[j] = s2 * b1 + b2;
+  }
+  if (std::all_of(out.bias.begin(), out.bias.end(), [](double b) { return b == 0.0; }))
+    out.bias.clear();  // keeps the merged stage foldable into a PAF envelope
+  return out;
+}
+
+}  // namespace
 
 Plan Planner::plan(const FhePipeline& pipe, const fhe::CkksContext& ctx,
                    const CostModel& cost, const PlanOptions& opts) {
@@ -220,36 +266,105 @@ Plan Planner::plan(const FhePipeline& pipe, const fhe::CkksContext& ctx,
   const RescalePolicy policy = opts.rescale_policy.value_or(pipe.rescale_policy());
   const auto slots = ctx.slot_count();
   const int chain = ctx.q_count() - 1;
+  const std::size_t extent = opts.pack_stride != 0 ? opts.pack_stride : slots;
+  sp::check_fmt(extent <= slots && slots % extent == 0, "Planner: pack stride ",
+                extent, " must divide the ", slots, " slots");
+  sp::check_fmt(pipe.input_width() <= extent, "Planner: input width ",
+                pipe.input_width(), " exceeds the ", extent, "-slot layout");
 
-  // Shape validation against the parameter set.
-  for (const Stage& st : stages) {
-    if (const auto* lin = std::get_if<LinearStage>(&st.op)) {
-      sp::check_fmt(lin->scale.size() == 1 || lin->scale.size() == slots,
-                    "Planner: linear scale must have 1 or ", slots, " entries, got ",
-                    lin->scale.size());
-      sp::check_fmt(lin->bias.empty() || lin->bias.size() == 1 ||
-                        lin->bias.size() == slots,
-                    "Planner: linear bias must have 0, 1 or ", slots,
-                    " entries, got ", lin->bias.size());
-    } else if (const auto* win = std::get_if<WindowStage>(&st.op)) {
-      sp::check_fmt(win->taps.size() <= slots, "Planner: window of ",
-                    win->taps.size(), " taps exceeds the ", slots, " slots");
-    } else {
-      const auto& paf = std::get<PafStage>(st.op);
-      if (paf.kind == SiteKind::MaxPool)
-        sp::check_fmt(static_cast<std::size_t>(paf.pool_window) <= slots,
-                      "Planner: pool window ", paf.pool_window, " exceeds the ",
-                      slots, " slots");
+  // Slot-layout widths threaded through the graph, plus shape validation
+  // against the parameter set. An undeclared input width resolves to the
+  // layout extent; a MatMul encountered before any width-changing stage
+  // then narrows it to its own input dimension (trusting the caller).
+  bool width_known = pipe.input_width() != 0;
+  std::vector<std::pair<std::size_t, std::size_t>> widths(stages.size());
+  {
+    std::size_t w = pipe.input_width() != 0 ? pipe.input_width() : extent;
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      const Stage& st = stages[i];
+      if (const auto* lin = std::get_if<LinearStage>(&st.op)) {
+        sp::check_fmt(lin->scale.size() == 1 || lin->scale.size() == slots,
+                      "Planner: linear scale must have 1 or ", slots,
+                      " entries, got ", lin->scale.size());
+        sp::check_fmt(lin->bias.empty() || lin->bias.size() == 1 ||
+                          lin->bias.size() == slots,
+                      "Planner: linear bias must have 0, 1 or ", slots,
+                      " entries, got ", lin->bias.size());
+      } else if (const auto* win = std::get_if<WindowStage>(&st.op)) {
+        sp::check_fmt(win->taps.size() <= slots, "Planner: window of ",
+                      win->taps.size(), " taps exceeds the ", slots, " slots");
+      } else if (const auto* mm = std::get_if<MatMulStage>(&st.op)) {
+        sp::check_fmt(static_cast<std::size_t>(mm->rows) <= extent &&
+                          static_cast<std::size_t>(mm->cols) <= extent,
+                      "Planner: ", mm->rows, "x", mm->cols,
+                      " matmul exceeds the ", extent, "-slot layout");
+        if (width_known)
+          sp::check_fmt(static_cast<std::size_t>(mm->cols) == w, "Planner: '",
+                        st.label, "' expects input width ", mm->cols,
+                        " but the tracked layout width is ", w);
+        w = static_cast<std::size_t>(mm->rows);
+        width_known = true;
+      } else if (const auto* cp = std::get_if<CompactStage>(&st.op)) {
+        sp::check_fmt(static_cast<std::size_t>(cp->stride) <= w &&
+                          w % static_cast<std::size_t>(cp->stride) == 0,
+                      "Planner: '", st.label, "' stride ", cp->stride,
+                      " must divide the tracked width ", w);
+        w /= static_cast<std::size_t>(cp->stride);
+        width_known = true;
+      } else {
+        const auto& paf = std::get<PafStage>(st.op);
+        if (paf.kind == SiteKind::MaxPool)
+          sp::check_fmt(static_cast<std::size_t>(paf.pool_window) <= slots,
+                        "Planner: pool window ", paf.pool_window, " exceeds the ",
+                        slots, " slots");
+      }
+      widths[i] = {i == 0 ? (pipe.input_width() != 0 ? pipe.input_width() : extent)
+                          : widths[i - 1].second,
+                   w};
     }
   }
 
   Plan plan;
   plan.chain_levels = chain;
   plan.measured_costs = cost.measured;
+  plan.pack_stride = opts.pack_stride;
   plan.stages.resize(stages.size());
 
+  // Merge pass (plan-level rescale placement): a run of back-to-back linear
+  // stages collapses into its LAST stage — one plaintext multiplication and
+  // ONE rescale instead of one per stage, saving a level for every extra
+  // non-identity stage in the run. Skipped under PerStage (stages execute
+  // literally as built).
+  std::vector<bool> absorbed(stages.size(), false);
+  std::vector<std::optional<LinearStage>> merged(stages.size());
+  if (policy == RescalePolicy::FoldScalars) {
+    std::size_t i = 0;
+    while (i < stages.size()) {
+      if (!std::holds_alternative<LinearStage>(stages[i].op)) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      while (j + 1 < stages.size() &&
+             std::holds_alternative<LinearStage>(stages[j + 1].op))
+        ++j;
+      if (j > i) {
+        LinearStage combined = std::get<LinearStage>(stages[i].op);
+        for (std::size_t k = i + 1; k <= j; ++k) {
+          absorbed[k - 1] = true;
+          combined = compose_linear(combined, std::get<LinearStage>(stages[k].op));
+        }
+        merged[j] = std::move(combined);
+      }
+      i = j + 1;
+    }
+  }
+
   // Fold pass: scalar, bias-free linear stages directly preceding a PAF-ReLU
-  // ride that activation's envelope plaintexts (see RescalePolicy).
+  // ride that activation's envelope plaintexts (see RescalePolicy). Runs on
+  // the post-merge view: a merged survivor folds with its combined scalar,
+  // and the scan stops at absorbed stages (their effect is already inside
+  // the survivor).
   std::vector<double> pre_factor(stages.size(), 1.0);
   std::vector<bool> folded(stages.size(), false);
   if (policy == RescalePolicy::FoldScalars) {
@@ -263,7 +378,9 @@ Plan Planner::plan(const FhePipeline& pipe, const fhe::CkksContext& ctx,
                            (paf->kind == SiteKind::MaxPool && paf->pool_window == 2);
       if (!absorbs) continue;
       for (std::size_t j = i; j-- > 0;) {
-        const auto* lin = std::get_if<LinearStage>(&stages[j].op);
+        if (absorbed[j]) break;
+        const auto* lin = merged[j] ? &*merged[j]
+                                    : std::get_if<LinearStage>(&stages[j].op);
         if (lin == nullptr || folded[j] || lin->scale.size() != 1 ||
             linear_has_bias(*lin) || lin->scale[0] == 0.0)
           break;
@@ -280,6 +397,14 @@ Plan Planner::plan(const FhePipeline& pipe, const fhe::CkksContext& ctx,
     sp_.label = st.label;
     sp_.level_in = level;
     sp_.lazy_relin = opts.lazy_relin;
+    sp_.width_in = widths[i].first;
+    sp_.width_out = widths[i].second;
+    if (absorbed[i]) {
+      sp_.folded = true;
+      sp_.merged_into_next = true;
+      sp_.level_out = level;
+      continue;
+    }
     if (folded[i]) {
       sp_.folded = true;
       sp_.level_out = level;
@@ -293,12 +418,75 @@ Plan Planner::plan(const FhePipeline& pipe, const fhe::CkksContext& ctx,
           opts.force_hoist.value_or(cost.fan_cost(fan, true) <= cost.fan_cost(fan, false));
 
     if (const auto* lin = std::get_if<LinearStage>(&st.op)) {
-      if (!linear_scale_is_identity(*lin)) {
+      if (merged[i]) sp_.merged_linear = merged[i];
+      const LinearStage& eff = sp_.merged_linear ? *sp_.merged_linear : *lin;
+      if (!linear_scale_is_identity(eff)) {
         sp_.ops.plain_mults = 1;
         sp_.ops.rescales = 1;
         sp_.ops.levels = 1;
       }
       sp_.predicted_cost = cost.eval_cost(sp_.ops);
+    } else if (const auto* mm = std::get_if<MatMulStage>(&st.op)) {
+      // BSGS split selection: pick the baby block size n1 minimizing the
+      // cost of (hoistable baby fan) + (naive giant rotations) + (one
+      // plaintext mult per nonzero extended diagonal) under the table. n1=1
+      // is the naive per-diagonal rotation loop; the sweep caps near
+      // 2 sqrt(span), past which giants stop shrinking.
+      const std::vector<int> dsteps =
+          fhe::DiagMatVecPlan::nonzero_steps(mm->weights, mm->rows, mm->cols);
+      const int span = mm->rows + mm->cols - 1;
+      std::vector<int> candidates;
+      if (opts.force_matmul_n1) {
+        sp::check(*opts.force_matmul_n1 >= 1, "Planner: force_matmul_n1 must be >= 1");
+        candidates.push_back(*opts.force_matmul_n1);
+      } else {
+        const int n1_max = std::min(
+            span, 2 * static_cast<int>(std::ceil(std::sqrt(static_cast<double>(span)))) + 1);
+        for (int n1 = 1; n1 <= n1_max; ++n1) candidates.push_back(n1);
+      }
+      bool first = true;
+      for (const int n1 : candidates) {
+        const fhe::DiagMatVecPlan dplan =
+            fhe::DiagMatVecPlan::group(dsteps, mm->rows, mm->cols, n1);
+        const int babies = static_cast<int>(dplan.baby_steps.size());
+        const bool hoist =
+            babies > 0 &&
+            opts.force_hoist.value_or(cost.fan_cost(babies, true) <=
+                                      cost.fan_cost(babies, false));
+        fhe::SchedulePrediction ops;
+        // An all-zero matrix still pays one mask multiply for the schedule
+        // shape (see DiagonalMatVec::apply).
+        ops.plain_mults = std::max(1, dplan.nonzero_diagonals);
+        ops.rescales = 1;
+        ops.levels = 1;
+        const double c = cost.eval_cost(ops) + cost.fan_cost(babies, hoist) +
+                         static_cast<double>(dplan.giant_steps.size()) * cost.rotate_ms;
+        if (first || c < sp_.predicted_cost) {
+          sp_.bsgs_n1 = n1;
+          sp_.rotation_steps = dplan.baby_steps;
+          sp_.giant_steps = dplan.giant_steps;
+          sp_.diag_mults = dplan.nonzero_diagonals;
+          sp_.hoist_fan = hoist;
+          sp_.ops = ops;
+          sp_.predicted_cost = c;
+          first = false;
+        }
+      }
+    } else if (const auto* cp = std::get_if<CompactStage>(&st.op)) {
+      // Selection-mask fan: output slot i takes x[i * stride] via the step
+      // i * (stride - 1); one mask multiply per kept slot, one rescale.
+      const std::size_t count = sp_.width_in / static_cast<std::size_t>(cp->stride);
+      sp_.rotation_steps.clear();
+      for (std::size_t k = 1; k < count; ++k)
+        sp_.rotation_steps.push_back(static_cast<int>(k) * (cp->stride - 1));
+      const int cfan = static_cast<int>(sp_.rotation_steps.size());
+      sp_.hoist_fan = cfan > 0 && opts.force_hoist.value_or(
+                                      cost.fan_cost(cfan, true) <=
+                                      cost.fan_cost(cfan, false));
+      sp_.ops.plain_mults = static_cast<int>(count);
+      sp_.ops.rescales = 1;
+      sp_.ops.levels = 1;
+      sp_.predicted_cost = cost.eval_cost(sp_.ops) + cost.fan_cost(cfan, sp_.hoist_fan);
     } else if (const auto* win = std::get_if<WindowStage>(&st.op)) {
       sp_.ops.plain_mults = static_cast<int>(win->taps.size());
       sp_.ops.rescales = 1;

@@ -69,12 +69,26 @@ struct StagePlan {
   std::string label;
   int level_in = 0;   ///< levels remaining when the stage starts
   int level_out = 0;  ///< levels remaining after the stage
-  bool folded = false;       ///< stage absorbed into the next PAF stage
+  bool folded = false;       ///< stage absorbed into a later stage
+  /// Folded by the adjacent-linear merge pass (into the next linear stage)
+  /// rather than into a PAF envelope.
+  bool merged_into_next = false;
+  /// Set on the survivor of an adjacent-linear merge run: the combined
+  /// scale/bias the stage executes instead of its own coefficients.
+  std::optional<LinearStage> merged_linear;
   double pre_factor = 1.0;   ///< PAF-ReLU: scalar folded into the envelope
   fhe::PafEvaluator::Strategy strategy = fhe::PafEvaluator::Strategy::BSGS;
   bool lazy_relin = true;
   bool hoist_fan = true;           ///< rotation fans share one decomposition
-  std::vector<int> rotation_steps; ///< slot steps this stage's fan needs
+  /// Hoistable fan from the stage input (window/pool taps, compact masks,
+  /// matmul BSGS baby steps).
+  std::vector<int> rotation_steps;
+  /// MatMul only: naive giant-step rotations of the BSGS block sums.
+  std::vector<int> giant_steps;
+  int bsgs_n1 = 0;                 ///< MatMul only: chosen baby block size
+  int diag_mults = 0;              ///< MatMul only: nonzero diagonal count
+  std::size_t width_in = 0;        ///< tracked slot-layout width entering
+  std::size_t width_out = 0;       ///< ... and leaving the stage
   fhe::SchedulePrediction ops;     ///< predicted evaluator op counts
   double predicted_cost = 0.0;     ///< CostModel-weighted stage cost
 };
@@ -85,6 +99,10 @@ struct Plan {
   std::vector<StagePlan> stages;
   int chain_levels = 0;   ///< levels the prime chain offers
   int levels_used = 0;    ///< levels the planned pipeline consumes
+  /// Slot-layout repeat stride (BatchRunner packing); 0 = one layout over
+  /// the whole slot vector. MatMul diagonals and compact masks replicate at
+  /// this stride so every packed request computes its own product.
+  std::size_t pack_stride = 0;
   double predicted_cost = 0.0;
   bool measured_costs = false;  ///< cost column is calibrated ms, not units
 
@@ -92,8 +110,9 @@ struct Plan {
   /// schedule choice, fan/hoisting, fold target and predicted cost.
   std::string describe() const;
 
-  /// @brief Union of every stage's rotation steps (sorted, deduplicated) —
-  /// pass to FheRuntime::rotation_keys for one up-front keygen.
+  /// @brief Union of every stage's rotation steps — baby fans AND giant
+  /// steps — sorted and deduplicated; pass to FheRuntime::rotation_keys for
+  /// one up-front keygen.
   std::vector<int> rotation_steps() const;
 };
 
@@ -106,6 +125,14 @@ struct PlanOptions {
   std::optional<fhe::PafEvaluator::Strategy> force_strategy;
   /// Pins fan hoisting; unset = hoist when the cost model says it pays.
   std::optional<bool> force_hoist;
+  /// Pins every MatMul stage's BSGS baby block size (1 = the naive
+  /// per-diagonal rotation loop, benchmark baseline); unset = pick the n1
+  /// minimizing rotate/hoist/plain-mult cost under the cost table.
+  std::optional<int> force_matmul_n1;
+  /// Slot-layout repeat stride for packed batches (0 = whole slot vector):
+  /// widths are validated against it and MatMul/Compact plaintexts
+  /// replicate per request. BatchRunner passes its input_size here.
+  std::size_t pack_stride = 0;
   /// Lazy relinearization for PAF stages.
   bool lazy_relin = true;
 };
@@ -116,14 +143,17 @@ class Planner {
  public:
   /// @brief Plans `pipe` for the chain described by `ctx`.
   ///
-  /// Validation: stage shapes (per-slot vectors vs slot count, pool windows)
-  /// and the end-to-end level budget — a pipeline deeper than the chain is
-  /// rejected with a per-stage level breakdown in the error message.
-  /// Decisions: scalar-linear folding (RescalePolicy), Ladder-vs-BSGS per
-  /// PAF stage, hoisted-vs-naive rotation fans, lazy-relin joins — all by
-  /// `cost.eval_cost`/`fan_cost`, so a calibrated table plans from measured
-  /// latencies instead of op counts. Planning is deterministic: the same
-  /// pipeline and cost table always produce the same plan.
+  /// Validation: stage shapes (per-slot vectors vs slot count, pool
+  /// windows, matmul/compact slot-layout widths) and the end-to-end level
+  /// budget — a pipeline deeper than the chain is rejected with a per-stage
+  /// level breakdown in the error message.
+  /// Decisions: adjacent-linear merging (one rescale per run),
+  /// scalar-linear folding (RescalePolicy), Ladder-vs-BSGS per PAF stage,
+  /// the MatMul BSGS n1 split, hoisted-vs-naive rotation fans, lazy-relin
+  /// joins — all by `cost.eval_cost`/`fan_cost`, so a calibrated table
+  /// plans from measured latencies instead of op counts. Planning is
+  /// deterministic: the same pipeline and cost table always produce the
+  /// same plan.
   /// @param pipe  the stage graph
   /// @param ctx   parameter set to validate against (no keys needed)
   /// @param cost  heuristic or calibrated cost table

@@ -48,6 +48,7 @@ PafLayerBase* replace_site(nn::Model& model, const NonPolySite& site,
   if (site.kind == SiteKind::MaxPool) {
     if (auto* pool1d = dynamic_cast<nn::MaxPool1d*>(site.slot->get())) {
       auto repl = std::make_unique<PafMaxPool1d>(paf, pool1d->window(),
+                                                 pool1d->stride(),
                                                  site.path + ".pafmax", mode);
       created = repl.get();
       *site.slot = std::move(repl);

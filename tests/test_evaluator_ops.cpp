@@ -26,7 +26,9 @@ class EvaluatorOpsTest : public ::testing::Test {
     rt_ = std::make_unique<smartpaf::FheRuntime>(CkksParams::for_depth(4096, 6, 40),
                                                  /*seed=*/2026);
     gk_ = std::make_unique<GaloisKeys>();
-    *gk_ = rt_->galois_keys({1, -1, 2, -2, 8});
+    // Snapshot of the runtime's deduplicated rotation-key store (the
+    // galois_keys() shim was removed; rotation_keys is the one key surface).
+    *gk_ = rt_->rotation_keys({1, -1, 2, -2, 8});
   }
   static void TearDownTestSuite() {
     gk_.reset();

@@ -253,11 +253,22 @@ TEST(PipelineLowering, RejectsUnreplacedAndDynamicAndUnsupported) {
     EXPECT_THROW(smartpaf::FhePipeline::lower(m), sp::Error);
   }
   {
+    // nn::Linear lowers to a MatMulStage since the diagonal-matmul layer
+    // landed; a 2-D conv stays unsupported.
+    sp::Rng rng(3);
+    auto seq = std::make_unique<nn::Sequential>("s");
+    seq->add(std::make_unique<nn::Conv2d>(1, 1, 3, 1, 1, rng));
+    nn::Model m(std::move(seq), "m");
+    EXPECT_THROW(smartpaf::FhePipeline::lower(m), sp::Error);
+  }
+  {
     sp::Rng rng(3);
     auto seq = std::make_unique<nn::Sequential>("s");
     seq->add(std::make_unique<nn::Linear>(4, 4, rng));
     nn::Model m(std::move(seq), "m");
-    EXPECT_THROW(smartpaf::FhePipeline::lower(m), sp::Error);
+    const auto pipe = smartpaf::FhePipeline::lower(m, /*input_width=*/4);
+    ASSERT_EQ(pipe.stages().size(), 1u);
+    EXPECT_TRUE(std::holds_alternative<smartpaf::MatMulStage>(pipe.stages()[0].op));
   }
 }
 
