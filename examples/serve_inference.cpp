@@ -1,0 +1,210 @@
+// Serving skeleton over the sp::io wire format: a client (key owner) and a
+// server (model owner) exchange length-prefixed frames; only public key
+// material and ciphertexts ever cross the boundary.
+//
+// Protocol, in frame order:
+//
+//   client -> server   CkksParams | PublicKey | relin KSwitchKey
+//   server -> client   Plan (planned server-side against the client's chain)
+//   client -> server   GaloisKeys covering plan.rotation_steps()
+//   client -> server   request Ciphertext            (repeats until EOF)
+//   server -> client   result Ciphertext
+//
+// The server reconstructs a keygen-less FheRuntime purely from the
+// deserialized blobs — it never sees the secret key and cannot decrypt
+// anything it computes. The client generates rotation keys only after the
+// plan arrives, so the server receives exactly the steps its schedule needs.
+//
+// By default the server runs as a true second process (fork + pipes), so the
+// round trip proves the blobs carry everything: no pointer, context or key
+// survives the process boundary except through sp::io. Exit status 0 iff the
+// decrypted result matches the plaintext reference within 2^-20.
+//
+// Build & run:  ./build/serve_inference
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "io/serialize.h"
+#include "smartpaf/fhe_deploy.h"
+#include "smartpaf/pipeline.h"
+#include "smartpaf/pipeline_planner.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define SMARTPAF_HAVE_FORK 1
+#endif
+
+namespace {
+
+using namespace sp;
+
+/// The served model: window conv -> PAF-ReLU -> diagonal linear. It lives
+/// server-side; the client-side copy below exists only to compute the
+/// plaintext reference for the parity check (in a real deployment the client
+/// would not know the weights and would skip that check).
+smartpaf::FhePipeline build_pipeline() {
+  sp::Rng rng(41);
+  std::vector<double> c(8, 0.0);
+  for (int k = 1; k <= 7; k += 2) c[static_cast<std::size_t>(k)] = rng.uniform(-1.0, 1.0) / 8.0;
+  return smartpaf::FhePipeline::builder()
+      .window({0.5, 0.3, 0.2})
+      .paf_relu(approx::CompositePaf("deg7", {approx::Polynomial(c)}), 2.0)
+      .linear(0.9, 0.05)
+      .build();
+}
+
+#ifdef SMARTPAF_HAVE_FORK
+
+/// Minimal blocking streambuf over a POSIX file descriptor, so the pipe ends
+/// speak the same std::iostream framing as any other channel.
+class FdBuf : public std::streambuf {
+ public:
+  explicit FdBuf(int fd) : fd_(fd) {}
+
+ protected:
+  int_type overflow(int_type c) override {
+    if (c == traits_type::eof()) return traits_type::not_eof(c);
+    const char ch = static_cast<char>(c);
+    return ::write(fd_, &ch, 1) == 1 ? c : traits_type::eof();
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    std::streamsize done = 0;
+    while (done < n) {
+      const ssize_t w = ::write(fd_, s + done, static_cast<std::size_t>(n - done));
+      if (w <= 0) break;
+      done += w;
+    }
+    return done;
+  }
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t r = ::read(fd_, buf_, sizeof(buf_));
+    if (r <= 0) return traits_type::eof();
+    setg(buf_, buf_, buf_ + r);
+    return traits_type::to_int_type(*gptr());
+  }
+
+ private:
+  int fd_;
+  char buf_[1 << 16];
+};
+
+#endif  // SMARTPAF_HAVE_FORK
+
+/// Server side: owns the model, never the secret key.
+int server_main(std::istream& in, std::ostream& out) {
+  std::vector<std::uint8_t> buf;
+  sp::check(io::read_frame(in, buf), "server: client hung up before params");
+  auto ctx = std::make_unique<fhe::CkksContext>(io::deserialize_params(buf));
+  sp::check(io::read_frame(in, buf), "server: client hung up before the public key");
+  fhe::PublicKey pk = io::deserialize_public_key(buf, *ctx);
+  sp::check(io::read_frame(in, buf), "server: client hung up before the relin key");
+  fhe::KSwitchKey relin = io::deserialize_kswitch_key(buf, *ctx);
+
+  // Plan against the client's chain and ship the plan: the client answers
+  // with rotation keys for exactly the steps the schedule needs.
+  const smartpaf::FhePipeline pipe = build_pipeline();
+  const smartpaf::Plan plan =
+      smartpaf::Planner::plan(pipe, *ctx, smartpaf::CostModel::heuristic());
+  io::write_frame(out, io::serialize(plan, *ctx));
+
+  sp::check(io::read_frame(in, buf), "server: client hung up before the Galois keys");
+  fhe::GaloisKeys galois = io::deserialize_galois_keys(buf, *ctx);
+
+  // The runtime adopts the context the blobs were deserialized against.
+  smartpaf::FheRuntime rt(std::move(ctx), std::move(pk), std::move(relin),
+                          std::move(galois));
+  sp::check(!rt.has_secret_key(), "server: must not hold a secret key");
+
+  // Request loop: one result frame per ciphertext frame, until EOF.
+  while (io::read_frame(in, buf)) {
+    const fhe::Ciphertext request = io::deserialize_ciphertext(buf, rt.ctx());
+    const fhe::Ciphertext result = pipe.run(rt, plan, request, nullptr);
+    io::write_frame(out, io::serialize(result));
+  }
+  return 0;
+}
+
+/// Client side: owns the keys, never the model weights.
+int client_main(std::istream& in, std::ostream& out) {
+  const fhe::CkksParams params = fhe::CkksParams::for_depth(2048, 8, 40);
+  smartpaf::FheRuntime rt(params, /*seed=*/2026);
+  io::write_frame(out, io::serialize(params));
+  io::write_frame(out, io::serialize(rt.public_key()));
+  io::write_frame(out, io::serialize(rt.relin_key()));
+
+  std::vector<std::uint8_t> buf;
+  sp::check(io::read_frame(in, buf), "client: server hung up before the plan");
+  const smartpaf::Plan plan = io::deserialize_plan(buf, rt.ctx());
+  std::printf("client: plan uses %d levels, %zu rotation steps\n", plan.levels_used,
+              plan.rotation_steps().size());
+  io::write_frame(out, io::serialize(rt.rotation_keys(plan.rotation_steps())));
+
+  sp::Rng rng(33);
+  std::vector<double> slots(rt.ctx().slot_count());
+  for (auto& x : slots) x = rng.uniform(-1.0, 1.0);
+  io::write_frame(out, io::serialize(rt.encrypt(slots)));
+
+  sp::check(io::read_frame(in, buf), "client: server hung up before the result");
+  const std::vector<double> got =
+      rt.decrypt(io::deserialize_ciphertext(buf, rt.ctx()));
+
+  const std::vector<double> ref = build_pipeline().reference(slots);
+  double worst = 0.0;
+  for (std::size_t j = 0; j < slots.size(); ++j)
+    worst = std::max(worst, std::abs(got[j] - ref[j]));
+  const double budget = std::ldexp(1.0, -20);
+  std::printf("client: max |served - reference| over %zu slots: %.2e (budget %.2e)\n",
+              slots.size(), worst, budget);
+  return worst < budget ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+#ifdef SMARTPAF_HAVE_FORK
+  // Fork BEFORE any FHE work: the child must not inherit a half-built global
+  // thread pool (fork keeps only the calling thread).
+  int c2s[2], s2c[2];
+  sp::check(pipe(c2s) == 0 && pipe(s2c) == 0, "serve_inference: pipe failed");
+  const pid_t pid = fork();
+  sp::check(pid >= 0, "serve_inference: fork failed");
+  if (pid == 0) {
+    close(c2s[1]);
+    close(s2c[0]);
+    FdBuf in_buf(c2s[0]), out_buf(s2c[1]);
+    std::istream in(&in_buf);
+    std::ostream out(&out_buf);
+    const int rc = server_main(in, out);
+    close(c2s[0]);
+    close(s2c[1]);
+    _exit(rc);
+  }
+  close(c2s[0]);
+  close(s2c[1]);
+  int rc = 1;
+  {
+    FdBuf in_buf(s2c[0]), out_buf(c2s[1]);
+    std::istream in(&in_buf);
+    std::ostream out(&out_buf);
+    rc = client_main(in, out);
+  }
+  close(c2s[1]);  // EOF ends the server's request loop
+  close(s2c[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  const int server_rc = WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+  std::printf("server exited %d, client exited %d\n", server_rc, rc);
+  return rc != 0 ? rc : server_rc;
+#else
+  std::printf("serve_inference needs POSIX pipes/fork; see tests/test_wire.cpp for the "
+              "in-process round trip\n");
+  return 0;
+#endif
+}

@@ -148,6 +148,17 @@ std::mutex g_global_mu;
 std::unique_ptr<ThreadPool> g_global_pool;
 // Lock-free fast path for global(): hot loops hit it once per RnsPoly op.
 std::atomic<ThreadPool*> g_global_ptr{nullptr};
+// parallel_for calls currently running on the global pool. Guards
+// set_global_threads: swapping the pool out from under an in-flight run
+// would destroy a pool whose workers are mid-range (use-after-free), so
+// misuse fails loudly instead of corrupting memory. The serial path counts
+// too — a 1-thread global pool is still the object an in-flight run holds.
+std::atomic<int> g_global_inflight{0};
+
+struct InflightScope {
+  InflightScope() { g_global_inflight.fetch_add(1, std::memory_order_relaxed); }
+  ~InflightScope() { g_global_inflight.fetch_sub(1, std::memory_order_relaxed); }
+};
 
 }  // namespace
 
@@ -163,6 +174,10 @@ ThreadPool& ThreadPool::global() {
 
 void ThreadPool::set_global_threads(int threads) {
   sp::check(threads >= 1, "ThreadPool: thread count must be >= 1");
+  sp::check(g_global_inflight.load(std::memory_order_relaxed) == 0,
+            "ThreadPool::set_global_threads: a parallel_for is in flight on "
+            "the global pool; resizing now would destroy a pool whose lanes "
+            "are still running. Quiesce all parallel work first.");
   std::lock_guard<std::mutex> lk(g_global_mu);
   if (g_global_pool && g_global_pool->threads() == threads) return;
   g_global_ptr.store(nullptr, std::memory_order_release);
@@ -196,6 +211,7 @@ void parallel_for(std::size_t begin, std::size_t end,
     run_serial(begin, end, body);
     return;
   }
+  InflightScope inflight;
   ThreadPool::global().parallel_for(begin, end, body);
 }
 

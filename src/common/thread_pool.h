@@ -44,7 +44,9 @@ class ThreadPool {
   static ThreadPool& global();
 
   /// Re-sizes the global pool (tests / bench sweeps). Must not be called
-  /// while a parallel_for is in flight on it.
+  /// while a parallel_for is in flight on it — enforced: throws sp::Error
+  /// when any global parallel_for is still running instead of destroying a
+  /// pool whose lanes are live.
   static void set_global_threads(int threads);
 
   /// SMARTPAF_THREADS, clamped to [1, 256]; hardware concurrency when the

@@ -177,8 +177,8 @@ Ciphertext DiagonalMatVec::apply(Evaluator& ev, const Ciphertext& x,
       const std::uint64_t key = fnv_mix(fingerprint_, static_cast<std::uint64_t>(
                                                           static_cast<std::int64_t>(s)));
       ev.multiply_plain_inplace(
-          term, enc_->encode_cached(key, scale, qc,
-                                    [&] { return diagonal_slots(s, g); }));
+          term, *enc_->encode_cached(key, scale, qc,
+                                     [&] { return diagonal_slots(s, g); }));
       if (!acc) {
         acc = std::move(term);
       } else {
@@ -203,7 +203,7 @@ Ciphertext DiagonalMatVec::apply(Evaluator& ev, const Ciphertext& x,
   if (std::any_of(bias_.begin(), bias_.end(), [](double b) { return b != 0.0; })) {
     const std::uint64_t key = fnv_mix(fingerprint_, 0x62696173ULL /* "bias" */);
     ev.add_plain_inplace(
-        *total, enc_->encode_cached(key, total->scale, total->q_count(), [&] {
+        *total, *enc_->encode_cached(key, total->scale, total->q_count(), [&] {
           std::vector<double> bv(enc_->slot_count(), 0.0);
           for (std::size_t base = 0; base < bv.size(); base += tile_)
             for (int j = 0; j < rows_; ++j)

@@ -1,6 +1,7 @@
 #include "fhe/encoder.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
 
@@ -105,25 +106,38 @@ Plaintext Encoder::encode_scalar(double value, double scale, int q_count) const 
   return pt;
 }
 
-const Plaintext& Encoder::encode_cached(std::uint64_t key,
-                                        const std::vector<double>& values,
-                                        double scale, int q_count) const {
+std::shared_ptr<const Plaintext> Encoder::encode_cached(
+    std::uint64_t key, const std::vector<double>& values, double scale,
+    int q_count) const {
   return encode_cached(key, scale, q_count, [&values] { return values; });
 }
 
-const Plaintext& Encoder::encode_cached(
+std::shared_ptr<const Plaintext> Encoder::encode_cached(
     std::uint64_t key, double scale, int q_count,
     const std::function<std::vector<double>()>& make) const {
-  const auto full_key = std::make_tuple(key, scale, q_count);
+  // Key the scale on its bit pattern: double-keyed ordering would make
+  // scales produced by different arithmetic paths compare "close but
+  // unequal" silently; raw bits make the hit/miss contract exact.
+  std::uint64_t scale_bits = 0;
+  std::memcpy(&scale_bits, &scale, sizeof(scale_bits));
+  const auto full_key = std::make_tuple(key, scale_bits, q_count);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    const auto it = pt_cache_.find(full_key);
+    if (it != pt_cache_.end()) return it->second;
+    // Self-limit: a runaway caller (many distinct matrices) drops the
+    // store's references instead of growing without bound. Entries pinned by
+    // callers stay alive through their shared_ptr. The limit is generous:
+    // one 784x784 matmul's diagonals plus masks stay far below it.
+    if (pt_cache_.size() >= 8192) pt_cache_.clear();
+  }
+  // Encode outside the lock: the FFT is the expensive part, and holding the
+  // mutex across it would serialize the overlap helper against evaluation.
+  // Two threads racing the same cold key both encode; the loser's (equal)
+  // entry is dropped when the winner's insertion is found below.
+  auto pt = std::make_shared<const Plaintext>(encode(make(), scale, q_count));
   std::lock_guard<std::mutex> lock(cache_mu_);
-  const auto it = pt_cache_.find(full_key);
-  if (it != pt_cache_.end()) return it->second;
-  // Self-limit: a runaway caller (many distinct matrices) drops the whole
-  // store instead of growing without bound — which is why the header only
-  // promises reference stability until the next call. The limit is generous:
-  // one 784x784 matmul's diagonals plus masks stay far below it.
-  if (pt_cache_.size() >= 8192) pt_cache_.clear();
-  return pt_cache_.emplace(full_key, encode(make(), scale, q_count)).first->second;
+  return pt_cache_.emplace(full_key, std::move(pt)).first->second;
 }
 
 void Encoder::clear_encode_cache() const {

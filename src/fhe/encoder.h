@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <tuple>
 #include <vector>
@@ -50,23 +51,29 @@ class Encoder {
   /// re-running the FFT. `key` is the caller's content fingerprint (e.g. a
   /// hash of the diagonal's coefficients and position): the cache trusts it,
   /// so two different value vectors under one key would alias — derive keys
-  /// from everything that determines the vector.
+  /// from everything that determines the vector. The scale keys on its IEEE
+  /// bit pattern: bitwise-equal scales hit, anything else is a distinct
+  /// entry (never a near-miss alias).
   ///
-  /// Lookups are mutex-guarded, but the returned reference is only
-  /// guaranteed stable until the NEXT encode_cached call on this encoder:
-  /// the store self-limits by dropping every entry once it reaches its cap,
-  /// so consume the plaintext immediately (or copy it) rather than holding
-  /// the reference across further cache traffic.
-  const Plaintext& encode_cached(std::uint64_t key, const std::vector<double>& values,
-                                 double scale, int q_count) const;
+  /// The returned shared_ptr PINS the entry: it stays valid for as long as
+  /// the caller holds it, even across clear_encode_cache() or the store's
+  /// self-limiting flush — both only drop the cache's own reference. This is
+  /// what makes the cache safe to consult from an evaluation thread while
+  /// BatchRunner's overlap helper (or any other thread) drives concurrent
+  /// cache traffic.
+  std::shared_ptr<const Plaintext> encode_cached(std::uint64_t key,
+                                                 const std::vector<double>& values,
+                                                 double scale, int q_count) const;
 
   /// @brief Same, building the slot vector lazily: `make` runs only on a
   /// cache miss, so repeat evaluations skip both the FFT and the O(slots)
   /// vector construction.
-  const Plaintext& encode_cached(std::uint64_t key, double scale, int q_count,
-                                 const std::function<std::vector<double>()>& make) const;
+  std::shared_ptr<const Plaintext> encode_cached(
+      std::uint64_t key, double scale, int q_count,
+      const std::function<std::vector<double>()>& make) const;
 
-  /// @brief Drops every cached plaintext (invalidates encode_cached refs).
+  /// @brief Drops the cache's own reference to every entry (outstanding
+  /// encode_cached pins keep their plaintexts alive).
   void clear_encode_cache() const;
 
   /// @brief Entries currently held by the encode_cached store.
@@ -111,11 +118,15 @@ class Encoder {
   std::int64_t crt_centered(const std::vector<u64>& residues, int q_count) const;
 
   const CkksContext* ctx_;
-  // encode_cached store: (caller key, scale, q_count) -> plaintext. Node-based
-  // map so cached references survive later insertions; guarded for the
-  // BatchRunner helper thread.
+  // encode_cached store: (caller key, scale bit pattern, q_count) ->
+  // shared_ptr pin. The scale keys on its raw IEEE-754 bits so two scales
+  // are the same entry iff they are bitwise equal; shared ownership keeps
+  // handed-out entries alive across flushes (mutex-guarded for the
+  // BatchRunner helper thread).
   mutable std::mutex cache_mu_;
-  mutable std::map<std::tuple<std::uint64_t, double, int>, Plaintext> pt_cache_;
+  mutable std::map<std::tuple<std::uint64_t, std::uint64_t, int>,
+                   std::shared_ptr<const Plaintext>>
+      pt_cache_;
   std::vector<std::size_t> rot_group_;            // 5^j mod 2N
   std::vector<std::complex<double>> twiddles_;    // e^(2*pi*i*k/(2N))
   // Garner precomputation: prod_q_mod_[k][j] = (q_0...q_{k-1}) mod q_j,

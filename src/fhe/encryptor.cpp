@@ -1,5 +1,7 @@
 #include "fhe/encryptor.h"
 
+#include <random>
+
 #include "common/check.h"
 
 namespace sp::fhe {
@@ -17,7 +19,18 @@ RnsPoly restrict_rows(const RnsPoly& full, int q_count) {
   return out;
 }
 
+/// 64 bits of real entropy for the seedless constructor. random_device is
+/// hardware-backed on every platform we target; two 32-bit draws fill the
+/// rng seed so distinct Encryptors never share a stream.
+std::uint64_t entropy_seed() {
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) ^ static_cast<std::uint64_t>(rd());
+}
+
 }  // namespace
+
+Encryptor::Encryptor(const CkksContext& ctx, PublicKey pk)
+    : Encryptor(ctx, std::move(pk), entropy_seed()) {}
 
 Encryptor::Encryptor(const CkksContext& ctx, PublicKey pk, std::uint64_t seed)
     : ctx_(&ctx), pk_(std::move(pk)), rng_(seed) {}

@@ -5,9 +5,19 @@
 namespace sp::fhe {
 
 /// Public-key CKKS encryptor.
+///
+/// Encryption randomness (the ternary u and the gaussian noise) must be
+/// unpredictable in production: a fixed default seed would make every
+/// process emit the same randomness stream, collapsing CPA security. The
+/// seedless constructor therefore draws entropy from std::random_device;
+/// the explicit-seed overload exists for reproducible tests and benches.
 class Encryptor {
  public:
-  Encryptor(const CkksContext& ctx, PublicKey pk, std::uint64_t seed = 1234);
+  /// Seeds the randomness stream from std::random_device (non-deterministic).
+  Encryptor(const CkksContext& ctx, PublicKey pk);
+  /// Deterministic stream for reproducible tests/benches — never use a
+  /// hard-coded seed in production paths.
+  Encryptor(const CkksContext& ctx, PublicKey pk, std::uint64_t seed);
 
   /// Encrypts a plaintext at its own level/scale.
   Ciphertext encrypt(const Plaintext& pt);

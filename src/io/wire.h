@@ -1,0 +1,223 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sp::io {
+
+/// Byte-level wire primitives shared by every sp::io (de)serializer.
+///
+/// All scalars are written little-endian byte by byte, so blobs are
+/// endian-stable across hosts regardless of the producer's native order.
+/// Doubles travel as their IEEE-754 bit pattern (bit-exact round trip, no
+/// text formatting loss). Readers are bounds-checked: a truncated or
+/// overlong stream raises sp::Error instead of reading garbage.
+
+/// First four bytes of every blob: "SPWB" (SmartPAF Wire Blob).
+constexpr std::uint32_t kMagic = 0x42575053u;  // 'S','P','W','B' little-endian
+
+/// Wire format version. Bump on ANY layout change; deserializers reject
+/// other versions outright (no silent best-effort decoding). Compatibility
+/// policy lives in docs/WIRE.md.
+constexpr std::uint16_t kVersion = 1;
+
+/// Payload type tag carried in every header, so a blob handed to the wrong
+/// deserializer fails loudly instead of misparsing.
+enum class BlobKind : std::uint16_t {
+  CkksParams = 1,
+  RnsPoly = 2,
+  Plaintext = 3,
+  Ciphertext = 4,
+  PublicKey = 5,
+  SecretKey = 6,
+  KSwitchKey = 7,
+  GaloisKeys = 8,
+  Plan = 9,
+};
+
+/// Appends little-endian scalars and raw bytes to an owned buffer.
+class WireWriter {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed u64 span (the RnsPoly row payload).
+  void u64_span(const std::uint64_t* data, std::size_t count) {
+    u64(count);
+    for (std::size_t i = 0; i < count; ++i) u64(data[i]);
+  }
+  /// Length-prefixed double vector (bit patterns).
+  void f64_vec(const std::vector<double>& v) {
+    u64(v.size());
+    for (double d : v) f64(d);
+  }
+  void i32_vec(const std::vector<int>& v) {
+    u64(v.size());
+    for (int x : v) i32(x);
+  }
+  /// Length-prefixed UTF-8 string.
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reads over a borrowed byte span.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& buf)
+      : WireReader(buf.data(), buf.size()) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+  /// Every byte must be consumed: trailing garbage after a payload is a
+  /// malformed blob, not padding.
+  void expect_done() const {
+    sp::check_fmt(done(), "wire: ", remaining(), " trailing bytes after payload");
+  }
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool boolean() {
+    const std::uint8_t v = u8();
+    sp::check(v <= 1, "wire: malformed bool");
+    return v == 1;
+  }
+
+  /// Reads a length-prefixed u64 span into `out` (exactly `expect` words
+  /// when expect != SIZE_MAX).
+  void u64_span(std::uint64_t* out, std::size_t expect) {
+    const std::uint64_t count = u64();
+    sp::check_fmt(count == expect, "wire: u64 span of ", count, " words, expected ",
+                  expect);
+    need(count * 8);
+    for (std::size_t i = 0; i < count; ++i) out[i] = u64();
+  }
+  std::vector<double> f64_vec() {
+    const std::uint64_t count = checked_count(8);
+    std::vector<double> v(count);
+    for (auto& d : v) d = f64();
+    return v;
+  }
+  std::vector<int> i32_vec() {
+    const std::uint64_t count = checked_count(4);
+    std::vector<int> v(count);
+    for (auto& x : v) x = i32();
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t count = checked_count(1);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), count);
+    pos_ += count;
+    return s;
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    sp::check_fmt(n <= size_ - pos_, "wire: truncated stream (need ", n, " bytes, have ",
+                  size_ - pos_, ")");
+  }
+  /// Reads a length prefix and validates count * elem_size fits the
+  /// remaining bytes BEFORE any allocation, so a corrupt length cannot
+  /// trigger a multi-GB resize.
+  std::uint64_t checked_count(std::uint64_t elem_size) {
+    const std::uint64_t count = u64();
+    sp::check_fmt(count <= remaining() / elem_size, "wire: length prefix ", count,
+                  " exceeds the remaining ", remaining(), " bytes");
+    return count;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------------ framing --
+
+/// Writes one length-prefixed frame (u32 little-endian length + payload) —
+/// the unit of the serving protocol's blocking stdin/stdout/socket loop.
+inline void write_frame(std::ostream& os, const std::vector<std::uint8_t>& payload) {
+  std::uint8_t len[4];
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) len[i] = static_cast<std::uint8_t>(n >> (8 * i));
+  os.write(reinterpret_cast<const char*>(len), 4);
+  os.write(reinterpret_cast<const char*>(payload.data()),
+           static_cast<std::streamsize>(payload.size()));
+  os.flush();
+}
+
+/// Reads one frame; returns false on clean EOF before the length prefix
+/// (peer hung up between messages) and throws on a truncated frame.
+inline bool read_frame(std::istream& is, std::vector<std::uint8_t>& payload) {
+  std::uint8_t len[4];
+  is.read(reinterpret_cast<char*>(len), 4);
+  if (is.gcount() == 0 && is.eof()) return false;
+  sp::check(is.gcount() == 4, "wire: truncated frame length");
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) n |= static_cast<std::uint32_t>(len[i]) << (8 * i);
+  payload.resize(n);
+  is.read(reinterpret_cast<char*>(payload.data()), static_cast<std::streamsize>(n));
+  sp::check(static_cast<std::uint32_t>(is.gcount()) == n, "wire: truncated frame payload");
+  return true;
+}
+
+}  // namespace sp::io

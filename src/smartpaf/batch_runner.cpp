@@ -18,12 +18,17 @@ BatchRunner::BatchRunner(FheRuntime& rt, BatchConfig cfg, const CostModel& cost)
     : rt_(&rt), cfg_(std::move(cfg)) {
   const auto slots = static_cast<int>(rt_->ctx().slot_count());
   sp::check(cfg_.input_size >= 1, "BatchRunner: input_size must be >= 1");
-  sp::check(cfg_.input_size <= slots, "BatchRunner: input_size exceeds the slot count");
+  // Without this, slots / input_size would floor to a capacity of zero and
+  // every submit would fail with an opaque "0 requests fit" error.
+  sp::check_fmt(cfg_.input_size <= slots, "BatchRunner: input_size ", cfg_.input_size,
+                " exceeds the ciphertext's ", slots,
+                " slots; no request fits (choose a larger ring or a smaller input)");
   sp::check(!cfg_.paf.stages().empty(), "BatchRunner: config needs a PAF");
   sp::check(cfg_.input_scale > 0, "BatchRunner: input_scale must be positive");
   sp::check(cfg_.window.size() <= static_cast<std::size_t>(slots),
             "BatchRunner: window wider than the slot count");
   capacity_ = slots / cfg_.input_size;
+  sp::check(capacity_ >= 1, "BatchRunner: internal error, capacity must be >= 1");
 
   const int depth_needed = (cfg_.window.empty() ? 0 : 1) + cfg_.paf.mult_depth() + 2;
   sp::check_fmt(rt_->ctx().q_count() - 1 >= depth_needed,

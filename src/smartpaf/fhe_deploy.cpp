@@ -1,7 +1,9 @@
 #include "smartpaf/fhe_deploy.h"
 
 #include <cmath>
+#include <sstream>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
@@ -13,19 +15,53 @@ FheRuntime::FheRuntime(const fhe::CkksParams& params, std::uint64_t seed) {
   encoder_ = std::make_unique<fhe::Encoder>(*ctx_);
   keygen_ = std::make_unique<fhe::KeyGenerator>(*ctx_, seed);
   relin_ = std::make_unique<fhe::KSwitchKey>(keygen_->relin_key());
-  encryptor_ = std::make_unique<fhe::Encryptor>(*ctx_, keygen_->public_key(), seed + 1);
+  // Stored (not just handed to the encryptor) so the wire path can ship it:
+  // public_key() draws fresh randomness on every KeyGenerator call, so the
+  // serialized key must be the same object the encryptor uses.
+  pk_ = keygen_->public_key();
+  encryptor_ = std::make_unique<fhe::Encryptor>(*ctx_, pk_, seed + 1);
   decryptor_ = std::make_unique<fhe::Decryptor>(*ctx_, keygen_->secret_key());
   evaluator_ = std::make_unique<fhe::Evaluator>(*ctx_);
   paf_eval_ = std::make_unique<fhe::PafEvaluator>(*ctx_, *encoder_, *relin_);
+}
+
+FheRuntime::FheRuntime(std::unique_ptr<fhe::CkksContext> ctx, fhe::PublicKey pk,
+                       fhe::KSwitchKey relin, fhe::GaloisKeys galois) {
+  sp::check(ctx != nullptr, "FheRuntime: null context");
+  ctx_ = std::move(ctx);
+  encoder_ = std::make_unique<fhe::Encoder>(*ctx_);
+  relin_ = std::make_unique<fhe::KSwitchKey>(std::move(relin));
+  pk_ = std::move(pk);
+  // Entropy-seeded: a server encrypting auxiliary plaintexts must not share
+  // a randomness stream with any other process.
+  encryptor_ = std::make_unique<fhe::Encryptor>(*ctx_, pk_);
+  evaluator_ = std::make_unique<fhe::Evaluator>(*ctx_);
+  paf_eval_ = std::make_unique<fhe::PafEvaluator>(*ctx_, *encoder_, *relin_);
+  rot_keys_ = std::move(galois);
+}
+
+fhe::Decryptor& FheRuntime::decryptor() {
+  sp::check(decryptor_ != nullptr,
+            "FheRuntime::decryptor: this runtime was reconstructed from public "
+            "key material only; the secret key never leaves the client");
+  return *decryptor_;
 }
 
 const fhe::GaloisKeys& FheRuntime::rotation_keys(const std::vector<int>& steps) {
   std::vector<int> missing;
   for (int s : steps) {
     if (s == 0) continue;  // identity rotation needs no key
-    if (rot_keys_.keys.count(keygen_->galois_element(s)) == 0) missing.push_back(s);
+    if (rot_keys_.keys.count(evaluator_->galois_element(s)) == 0) missing.push_back(s);
   }
   if (!missing.empty()) {
+    if (!keygen_) {
+      std::ostringstream os;
+      os << "FheRuntime::rotation_keys: runtime holds no secret key and the "
+            "deserialized Galois keys do not cover step(s)";
+      for (int s : missing) os << ' ' << s;
+      os << "; ask the key owner for keys covering the plan";
+      throw sp::Error(os.str());
+    }
     fhe::GaloisKeys fresh = keygen_->galois_keys(missing);
     for (auto& kv : fresh.keys) rot_keys_.keys.emplace(kv.first, std::move(kv.second));
   }
@@ -39,7 +75,7 @@ fhe::Ciphertext FheRuntime::encrypt(const std::vector<double>& values) {
 }
 
 std::vector<double> FheRuntime::decrypt(const fhe::Ciphertext& ct) {
-  return encoder_->decode(decryptor_->decrypt(ct));
+  return encoder_->decode(decryptor().decrypt(ct));
 }
 
 PafLatencyResult measure_paf_relu(FheRuntime& rt, const approx::CompositePaf& paf,

@@ -19,26 +19,50 @@ class FheRuntime {
   /// @param seed    keygen/encryption randomness (deterministic runs)
   explicit FheRuntime(const fhe::CkksParams& params, std::uint64_t seed = 2024);
 
+  /// @brief Server-side runtime reconstructed purely from deserialized key
+  /// material (the sp::io wire path): no keygen, no secret key, no
+  /// decryptor. Evaluation, plan execution and public-key encryption all
+  /// work; decrypt()/decryptor() throw, and rotation_keys() validates the
+  /// supplied Galois keys instead of generating missing ones.
+  ///
+  /// Takes ownership of the context the key material was deserialized
+  /// against: deserialized polynomials hold a pointer into that context, so
+  /// the runtime must adopt it rather than build a second copy.
+  /// @param ctx     context built from the client's deserialized params
+  /// @param pk      client's public key (deserialized against *ctx)
+  /// @param relin   client's relinearization key (deserialized against *ctx)
+  /// @param galois  rotation keys covering the plan (may be extended later
+  ///                by constructing a new runtime with a larger set)
+  FheRuntime(std::unique_ptr<fhe::CkksContext> ctx, fhe::PublicKey pk,
+             fhe::KSwitchKey relin, fhe::GaloisKeys galois);
+
   /// @brief The precomputed context shared by every component.
   const fhe::CkksContext& ctx() const { return *ctx_; }
   /// @brief Canonical-embedding encoder (N/2 real slots).
   fhe::Encoder& encoder() { return *encoder_; }
   /// @brief Public-key encryptor.
   fhe::Encryptor& encryptor() { return *encryptor_; }
-  /// @brief Secret-key decryptor.
-  fhe::Decryptor& decryptor() { return *decryptor_; }
+  /// @brief Secret-key decryptor; throws when the runtime was built from
+  /// public material only (has_secret_key() == false).
+  fhe::Decryptor& decryptor();
   /// @brief Leveled evaluator (also owns the process-wide OpCounters tally).
   fhe::Evaluator& evaluator() { return *evaluator_; }
   /// @brief Polynomial/PAF evaluator bound to this runtime's relin key.
   fhe::PafEvaluator& paf_evaluator() { return *paf_eval_; }
-  /// @brief Relinearization key generated at construction.
+  /// @brief Relinearization key generated at construction (or deserialized).
   const fhe::KSwitchKey& relin_key() const { return *relin_; }
+  /// @brief Public encryption key (serializable via sp::io).
+  const fhe::PublicKey& public_key() const { return pk_; }
+  /// @brief False for server-side runtimes built from public material only.
+  bool has_secret_key() const { return decryptor_ != nullptr; }
 
   /// @brief Shared, deduplicated rotation-key store: generates keys only for
   /// steps whose Galois element is not yet covered and returns the runtime's
   /// one key set (stable reference; later calls may extend it in place).
   /// Every pipeline stage, BatchRunner fan and extract() stride draws from
   /// this store, so a step needed by several stages pays keygen once.
+  /// A keygen-less (server-side) runtime cannot mint keys: it validates
+  /// coverage of its deserialized store and throws naming the missing steps.
   /// @param steps  slot offsets (positive = left); 0 and duplicates are fine
   const fhe::GaloisKeys& rotation_keys(const std::vector<int>& steps);
 
@@ -53,17 +77,19 @@ class FheRuntime {
   /// @param values  up to slot_count() reals; remaining slots are zero
   fhe::Ciphertext encrypt(const std::vector<double>& values);
 
-  /// @brief Decrypts + decodes back to one value per slot.
+  /// @brief Decrypts + decodes back to one value per slot; throws when the
+  /// runtime holds no secret key.
   /// @param ct  2-part ciphertext (relinearize 3-part results first)
   std::vector<double> decrypt(const fhe::Ciphertext& ct);
 
  private:
   std::unique_ptr<fhe::CkksContext> ctx_;
   std::unique_ptr<fhe::Encoder> encoder_;
-  std::unique_ptr<fhe::KeyGenerator> keygen_;
+  std::unique_ptr<fhe::KeyGenerator> keygen_;  ///< null: server-side runtime
   std::unique_ptr<fhe::KSwitchKey> relin_;
+  fhe::PublicKey pk_;
   std::unique_ptr<fhe::Encryptor> encryptor_;
-  std::unique_ptr<fhe::Decryptor> decryptor_;
+  std::unique_ptr<fhe::Decryptor> decryptor_;  ///< null: server-side runtime
   std::unique_ptr<fhe::Evaluator> evaluator_;
   std::unique_ptr<fhe::PafEvaluator> paf_eval_;
   fhe::GaloisKeys rot_keys_;  ///< shared rotation_keys() store

@@ -422,8 +422,8 @@ fhe::Ciphertext FhePipeline::run(FheRuntime& rt, const Plan& plan,
                                     enc.encode_scalar(eff.scale[0], delta, cur.q_count()));
         } else {
           ev.multiply_plain_inplace(
-              cur, enc.encode_cached(linear_vec_key(eff.scale, 1), delta,
-                                     cur.q_count(), [&] { return eff.scale; }));
+              cur, *enc.encode_cached(linear_vec_key(eff.scale, 1), delta,
+                                      cur.q_count(), [&] { return eff.scale; }));
         }
         ev.rescale_inplace(cur);
       }
@@ -433,8 +433,8 @@ fhe::Ciphertext FhePipeline::run(FheRuntime& rt, const Plan& plan,
                                enc.encode_scalar(eff.bias[0], cur.scale, cur.q_count()));
         } else {
           ev.add_plain_inplace(
-              cur, enc.encode_cached(linear_vec_key(eff.bias, 2), cur.scale,
-                                     cur.q_count(), [&] { return eff.bias; }));
+              cur, *enc.encode_cached(linear_vec_key(eff.bias, 2), cur.scale,
+                                      cur.q_count(), [&] { return eff.bias; }));
         }
       }
       continue;
@@ -462,7 +462,7 @@ fhe::Ciphertext FhePipeline::run(FheRuntime& rt, const Plan& plan,
       if (!sp_.rotation_steps.empty())
         rotated = rotate_fan(ev, cur, sp_.rotation_steps,
                              rt.rotation_keys(sp_.rotation_steps), sp_.hoist_fan);
-      const auto mask = [&](std::size_t i) -> const fhe::Plaintext& {
+      const auto mask = [&](std::size_t i) {
         return enc.encode_cached(
             compact_mask_key(sp_.width_in, cp->stride, tile, i), delta,
             cur.q_count(), [&] {
@@ -473,10 +473,10 @@ fhe::Ciphertext FhePipeline::run(FheRuntime& rt, const Plan& plan,
             });
       };
       fhe::Ciphertext acc = cur;
-      ev.multiply_plain_inplace(acc, mask(0));
+      ev.multiply_plain_inplace(acc, *mask(0));
       for (std::size_t i = 1; i < count; ++i) {
         fhe::Ciphertext& term = rotated[i - 1];
-        ev.multiply_plain_inplace(term, mask(i));
+        ev.multiply_plain_inplace(term, *mask(i));
         ev.add_inplace(acc, term);
       }
       ev.rescale_inplace(acc);

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -229,6 +230,26 @@ TEST_F(BatchRunnerTest, RejectsBadConfigAndOversizedBatch) {
   EXPECT_THROW(runner.run(random_batch(2, 4, 13)), sp::Error);
   EXPECT_THROW(runner.run({}), sp::Error);
   EXPECT_THROW(runner.extract(rt_->encrypt({1.0}), {runner.capacity()}), sp::Error);
+}
+
+TEST_F(BatchRunnerTest, RejectsInputWiderThanSlots) {
+  // input_size > slot_count would floor capacity to zero; the constructor
+  // must fail with a diagnostic naming both numbers, not divide to nonsense.
+  const int slots = static_cast<int>(rt_->ctx().slot_count());
+  bool rejected = false;
+  try {
+    smartpaf::BatchRunner runner(*rt_, activation_cfg(slots + 1));
+  } catch (const sp::Error& e) {
+    rejected = true;
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("exceeds"), std::string::npos);
+    EXPECT_NE(msg.find(std::to_string(slots + 1)), std::string::npos);
+    EXPECT_NE(msg.find(std::to_string(slots)), std::string::npos);
+  }
+  EXPECT_TRUE(rejected);
+  // The boundary case still works: exactly one request fits.
+  smartpaf::BatchRunner full(*rt_, activation_cfg(slots));
+  EXPECT_EQ(full.capacity(), 1);
 }
 
 }  // namespace

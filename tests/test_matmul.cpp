@@ -353,14 +353,35 @@ TEST_F(MatMulFheTest, EncoderCacheServesRepeatedDiagonals) {
   Encoder& enc = rt_->encoder();
   enc.clear_encode_cache();
   const std::vector<double> v(rt_->ctx().slot_count(), 0.25);
-  const Plaintext& p1 = enc.encode_cached(42, v, rt_->ctx().scale(), 2);
-  const Plaintext& p2 = enc.encode_cached(42, v, rt_->ctx().scale(), 2);
-  EXPECT_EQ(&p1, &p2);  // second call is a cache hit
+  const auto p1 = enc.encode_cached(42, v, rt_->ctx().scale(), 2);
+  const auto p2 = enc.encode_cached(42, v, rt_->ctx().scale(), 2);
+  EXPECT_EQ(p1.get(), p2.get());  // second call is a cache hit
   EXPECT_EQ(enc.encode_cache_size(), 1u);
   (void)enc.encode_cached(42, v, rt_->ctx().scale(), 3);  // new q_count, new entry
   EXPECT_EQ(enc.encode_cache_size(), 2u);
   enc.clear_encode_cache();
   EXPECT_EQ(enc.encode_cache_size(), 0u);
+  // Pinned entries survive the flush: the handed-out plaintext is intact.
+  EXPECT_EQ(p1->q_count(), 2);
+  EXPECT_EQ(p1->scale, rt_->ctx().scale());
+}
+
+TEST_F(MatMulFheTest, EncoderCacheKeysScaleOnBitPattern) {
+  Encoder& enc = rt_->encoder();
+  enc.clear_encode_cache();
+  const std::vector<double> v(rt_->ctx().slot_count(), 0.5);
+  const double scale = rt_->ctx().scale();
+  const auto p1 = enc.encode_cached(7, v, scale, 2);
+  // Bitwise-equal scale computed through a different expression still hits.
+  const double same = scale * 1.0;
+  EXPECT_EQ(p1.get(), enc.encode_cached(7, v, same, 2).get());
+  EXPECT_EQ(enc.encode_cache_size(), 1u);
+  // One-ulp-off scale is a distinct entry, never a near-miss alias.
+  const double off = std::nextafter(scale, 2.0 * scale);
+  const auto p3 = enc.encode_cached(7, v, off, 2);
+  EXPECT_NE(p1.get(), p3.get());
+  EXPECT_EQ(enc.encode_cache_size(), 2u);
+  EXPECT_EQ(p3->scale, off);
 }
 
 // ------------------------------------------------------------- zoo MLP head --

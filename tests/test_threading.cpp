@@ -4,9 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "smartpaf/fhe_deploy.h"
@@ -68,6 +72,62 @@ TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
 }
 
 TEST(ThreadPool, EnvThreadsIsAtLeastOne) { EXPECT_GE(ThreadPool::env_threads(), 1); }
+
+TEST(ThreadPool, SetGlobalThreadsRejectsInFlightResize) {
+  // Resizing the global pool while a parallel_for runs on it would destroy a
+  // pool whose lanes are live; the precondition is enforced, not documented.
+  ThreadPool::set_global_threads(3);  // quiescent: allowed
+  bool threw = false;
+  sp::parallel_for(0, 4, [&](std::size_t i) {
+    if (i != 0) return;  // index 0 runs exactly once; single-lane write
+    try {
+      ThreadPool::set_global_threads(2);
+    } catch (const sp::Error& e) {
+      EXPECT_NE(std::string(e.what()).find("in flight"), std::string::npos);
+      threw = true;
+    }
+  });
+  EXPECT_TRUE(threw);
+  // The pool stays serviceable, and a quiescent resize works again.
+  std::atomic<int> calls{0};
+  sp::parallel_for(0, 10, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 10);
+  ThreadPool::set_global_threads(ThreadPool::env_threads());
+}
+
+TEST(EncoderCacheThreading, PinnedEntriesSurviveConcurrentFlush) {
+  // Regression for the encode_cached lifetime race: the old API returned a
+  // reference into the cache map, which BatchRunner's overlap helper (or any
+  // concurrent cache traffic triggering the self-limit flush) could
+  // invalidate mid-evaluation. The shared_ptr pin must keep every handed-out
+  // plaintext alive and bit-stable across flushes. Run under TSan in CI.
+  smartpaf::FheRuntime rt(CkksParams::for_depth(2048, 3, 40), /*seed=*/7);
+  const Encoder& enc = rt.encoder();
+  const double scale = rt.ctx().scale();
+  std::atomic<bool> stop{false};
+  // Flusher thread: hammers clear + cold-key traffic concurrently.
+  std::thread flusher([&] {
+    std::uint64_t k = 1000;
+    while (!stop.load()) {
+      enc.clear_encode_cache();
+      (void)enc.encode_cached(k++, scale, 2,
+                              [&] { return std::vector<double>(8, 0.5); });
+    }
+  });
+  // Evaluation thread: pins entries and reads them after arbitrary flushes.
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto pt = enc.encode_cached(
+        static_cast<std::uint64_t>(iter % 8), scale, 2,
+        [&] { return std::vector<double>(8, 1.0); });
+    ASSERT_TRUE(pt != nullptr);
+    EXPECT_EQ(pt->scale, scale);
+    EXPECT_EQ(pt->q_count(), 2);
+    // Touch the polynomial storage — a use-after-free under the old API.
+    EXPECT_LT(pt->poly.row(0)[0], rt.ctx().q(0).value());
+  }
+  stop.store(true);
+  flusher.join();
+}
 
 /// One fixed FHE workload end to end; returns the flattened residues of the
 /// produced ciphertexts plus a counters snapshot.

@@ -1,0 +1,464 @@
+// sp::io wire-format net: golden-blob version pinning (byte-level), wire
+// primitive round trips, bit-identical (de)serialization of polys /
+// plaintexts / ciphertexts / keys / plans at two parameter sets, header
+// rejection diagnostics (magic, version, kind, fingerprint, truncation,
+// trailing bytes, corrupt lengths, out-of-range residues), frame framing,
+// and the serving contract: a keygen-less runtime reconstructed purely from
+// deserialized blobs evaluates a plan bit-identically to the key owner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "io/serialize.h"
+#include "smartpaf/fhe_deploy.h"
+#include "smartpaf/pipeline.h"
+#include "smartpaf/pipeline_planner.h"
+
+namespace {
+
+using namespace sp;
+using namespace sp::fhe;
+
+const double kParityTol = std::ldexp(1.0, -20);
+
+/// Asserts `fn` throws sp::Error whose message contains `substr`.
+template <typename Fn>
+void expect_error_containing(Fn&& fn, const std::string& substr) {
+  bool threw = false;
+  try {
+    fn();
+  } catch (const sp::Error& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find(substr), std::string::npos)
+        << "message was: " << e.what();
+  }
+  EXPECT_TRUE(threw) << "expected an sp::Error containing \"" << substr << "\"";
+}
+
+bool polys_equal(const RnsPoly& a, const RnsPoly& b) {
+  if (a.q_count() != b.q_count() || a.has_special() != b.has_special() ||
+      a.is_ntt() != b.is_ntt() || a.n() != b.n())
+    return false;
+  for (int i = 0; i < a.row_count(); ++i)
+    for (std::size_t j = 0; j < a.n(); ++j)
+      if (a.row(i)[j] != b.row(i)[j]) return false;
+  return true;
+}
+
+bool ciphertexts_equal(const Ciphertext& a, const Ciphertext& b) {
+  if (a.size() != b.size() || a.scale != b.scale) return false;
+  for (int i = 0; i < a.size(); ++i)
+    if (!polys_equal(a.parts[static_cast<std::size_t>(i)],
+                     b.parts[static_cast<std::size_t>(i)]))
+      return false;
+  return true;
+}
+
+/// Shared small runtime: keygen once for the whole suite.
+class WireTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rt_ = std::make_unique<smartpaf::FheRuntime>(CkksParams::for_depth(2048, 4, 40),
+                                                 /*seed=*/77);
+  }
+  static void TearDownTestSuite() { rt_.reset(); }
+
+  static std::vector<double> random_slots(std::uint64_t seed) {
+    sp::Rng rng(seed);
+    std::vector<double> v(rt_->ctx().slot_count());
+    for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+    return v;
+  }
+
+  static std::unique_ptr<smartpaf::FheRuntime> rt_;
+};
+
+std::unique_ptr<smartpaf::FheRuntime> WireTest::rt_;
+
+// -------------------------------------------------------------- golden blob --
+
+// The full serialized CkksParams::for_depth(2048, 4, 40) blob, byte for
+// byte. This is the version pin: ANY layout change (field order, widths,
+// header shape, fingerprint recipe) breaks this test, which is the signal to
+// bump sp::io::kVersion and regenerate. Layout: docs/WIRE.md.
+const std::vector<std::uint8_t> kGoldenParamsBlob = {
+    0x53, 0x50, 0x57, 0x42,                          // magic "SPWB"
+    0x01, 0x00,                                      // version 1
+    0x01, 0x00,                                      // kind CkksParams
+    0x3a, 0x78, 0x92, 0xe6, 0xb8, 0x9b, 0x61, 0x5f,  // params fingerprint
+    0x00, 0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // poly_degree 2048
+    0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // 5 q_bits entries
+    0x3c, 0x00, 0x00, 0x00,                          // 60
+    0x28, 0x00, 0x00, 0x00,                          // 40
+    0x28, 0x00, 0x00, 0x00,                          // 40
+    0x28, 0x00, 0x00, 0x00,                          // 40
+    0x28, 0x00, 0x00, 0x00,                          // 40
+    0x3c, 0x00, 0x00, 0x00,                          // special_bits 60
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x70, 0x42,  // scale 2^40
+    0x9a, 0x99, 0x99, 0x99, 0x99, 0x99, 0x09, 0x40,  // noise_stddev 3.2
+};
+
+TEST(WireGolden, ParamsBlobIsByteStable) {
+  const CkksParams params = CkksParams::for_depth(2048, 4, 40);
+  EXPECT_EQ(io::serialize(params), kGoldenParamsBlob);
+  EXPECT_EQ(io::params_fingerprint(params), 0x5f619bb8e692783aULL);
+}
+
+TEST(WireGolden, GoldenBlobDeserializes) {
+  const CkksParams params = io::deserialize_params(kGoldenParamsBlob);
+  EXPECT_EQ(params.poly_degree, 2048u);
+  EXPECT_EQ(params.q_bits, (std::vector<int>{60, 40, 40, 40, 40}));
+  EXPECT_EQ(params.special_bits, 60);
+  EXPECT_EQ(params.scale, std::ldexp(1.0, 40));
+  EXPECT_NEAR(params.noise_stddev, 3.2, 1e-12);
+}
+
+// --------------------------------------------------------------- primitives --
+
+TEST(WirePrimitives, ScalarsRoundTripLittleEndian) {
+  io::WireWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefULL);
+  w.i32(-7);
+  w.i64(-1);
+  w.f64(-0.125);
+  w.boolean(true);
+  w.str("smartpaf");
+  const std::vector<std::uint8_t> bytes = w.take();
+  EXPECT_EQ(bytes[0], 0xab);
+  EXPECT_EQ(bytes[1], 0x34);  // u16 low byte first
+  EXPECT_EQ(bytes[2], 0x12);
+
+  io::WireReader r(bytes);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i32(), -7);
+  EXPECT_EQ(r.i64(), -1);
+  EXPECT_EQ(r.f64(), -0.125);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), "smartpaf");
+  EXPECT_TRUE(r.done());
+  r.expect_done();
+}
+
+TEST(WirePrimitives, TruncatedAndMalformedReadsThrow) {
+  io::WireWriter w;
+  w.u32(5);
+  const std::vector<std::uint8_t> bytes = w.bytes();
+  expect_error_containing(
+      [&] {
+        io::WireReader r(bytes);
+        r.u64();
+      },
+      "truncated");
+  expect_error_containing(
+      [&] {
+        io::WireReader r(bytes);
+        r.u8();
+        r.u8();  // value 0 then 5: second byte is 0... read all four then fail
+        r.u8();
+        r.u8();
+        r.u8();
+      },
+      "truncated");
+  // A corrupt length prefix is rejected BEFORE allocation.
+  io::WireWriter big;
+  big.u64(0xffffffffffffULL);
+  expect_error_containing(
+      [&] {
+        io::WireReader r(big.bytes());
+        r.f64_vec();
+      },
+      "length prefix");
+  // Bool bytes other than 0/1 are malformed, not truthy.
+  io::WireWriter b;
+  b.u8(2);
+  expect_error_containing(
+      [&] {
+        io::WireReader r(b.bytes());
+        r.boolean();
+      },
+      "bool");
+  // Trailing bytes after a payload are an error, not padding.
+  expect_error_containing(
+      [&] {
+        io::WireReader r(bytes);
+        r.u16();
+        r.expect_done();
+      },
+      "trailing");
+}
+
+TEST(WirePrimitives, FramesRoundTripAndSignalCleanEof) {
+  std::stringstream channel;
+  io::write_frame(channel, {1, 2, 3});
+  io::write_frame(channel, {});  // empty frames are legal
+  io::write_frame(channel, {0xff});
+  std::vector<std::uint8_t> payload;
+  EXPECT_TRUE(io::read_frame(channel, payload));
+  EXPECT_EQ(payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(io::read_frame(channel, payload));
+  EXPECT_TRUE(payload.empty());
+  EXPECT_TRUE(io::read_frame(channel, payload));
+  EXPECT_EQ(payload, (std::vector<std::uint8_t>{0xff}));
+  EXPECT_FALSE(io::read_frame(channel, payload));  // clean EOF, not an error
+
+  // A frame cut mid-payload throws instead of returning short data.
+  std::stringstream cut;
+  io::write_frame(cut, {9, 9, 9, 9});
+  std::string s = cut.str();
+  s.resize(s.size() - 2);
+  std::stringstream truncated(s);
+  expect_error_containing([&] { io::read_frame(truncated, payload); }, "truncated");
+}
+
+// -------------------------------------------------------------- round trips --
+
+TEST_F(WireTest, PolyPlaintextCiphertextRoundTripBitIdentical) {
+  const auto slots = random_slots(5);
+  const Plaintext pt = rt_->encoder().encode(slots, rt_->ctx().scale(), 3);
+  const Plaintext pt2 = io::deserialize_plaintext(io::serialize(pt), rt_->ctx());
+  EXPECT_TRUE(polys_equal(pt.poly, pt2.poly));
+  EXPECT_EQ(pt.scale, pt2.scale);
+
+  // Coefficient-form partial-chain poly.
+  RnsPoly poly(&rt_->ctx(), 2, /*with_special=*/false, /*ntt_form=*/false);
+  sp::Rng rng(11);
+  poly.sample_uniform(rng);
+  EXPECT_TRUE(polys_equal(poly, io::deserialize_poly(io::serialize(poly), rt_->ctx())));
+
+  // 2-part ciphertext and 3-part (pre-relinearization) ciphertext.
+  const Ciphertext ct = rt_->encrypt(slots);
+  EXPECT_TRUE(ciphertexts_equal(ct, io::deserialize_ciphertext(io::serialize(ct),
+                                                               rt_->ctx())));
+  const Ciphertext prod = rt_->evaluator().multiply(ct, ct);
+  EXPECT_EQ(prod.size(), 3);
+  const Ciphertext prod2 = io::deserialize_ciphertext(io::serialize(prod), rt_->ctx());
+  EXPECT_TRUE(ciphertexts_equal(prod, prod2));
+  // The deserialized copy decrypts identically (exact same residues).
+  EXPECT_EQ(rt_->decrypt(prod2), rt_->decrypt(prod));
+}
+
+TEST_F(WireTest, KeyMaterialRoundTripsBitIdentical) {
+  const PublicKey& pk = rt_->public_key();
+  const PublicKey pk2 = io::deserialize_public_key(io::serialize(pk), rt_->ctx());
+  EXPECT_TRUE(polys_equal(pk.p0, pk2.p0));
+  EXPECT_TRUE(polys_equal(pk.p1, pk2.p1));
+
+  const KSwitchKey& relin = rt_->relin_key();
+  const KSwitchKey relin2 = io::deserialize_kswitch_key(io::serialize(relin), rt_->ctx());
+  ASSERT_EQ(relin2.digits.size(), relin.digits.size());
+  for (std::size_t i = 0; i < relin.digits.size(); ++i) {
+    EXPECT_TRUE(polys_equal(relin.digits[i][0], relin2.digits[i][0]));
+    EXPECT_TRUE(polys_equal(relin.digits[i][1], relin2.digits[i][1]));
+  }
+
+  const GaloisKeys& gk = rt_->rotation_keys({1, -2, 8});
+  const GaloisKeys gk2 = io::deserialize_galois_keys(io::serialize(gk), rt_->ctx());
+  ASSERT_EQ(gk2.keys.size(), gk.keys.size());
+  for (const auto& [elt, key] : gk.keys) {
+    const auto it = gk2.keys.find(elt);
+    ASSERT_TRUE(it != gk2.keys.end());
+    ASSERT_EQ(it->second.digits.size(), key.digits.size());
+    for (std::size_t i = 0; i < key.digits.size(); ++i)
+      EXPECT_TRUE(polys_equal(key.digits[i][0], it->second.digits[i][0]));
+  }
+
+  // Secret keys round trip too (client-side persistence; never ship one).
+  KeyGenerator kg(rt_->ctx(), 123);
+  const SecretKey& sk = kg.secret_key();
+  const SecretKey sk2 = io::deserialize_secret_key(io::serialize(sk), rt_->ctx());
+  EXPECT_TRUE(polys_equal(sk.s_ntt, sk2.s_ntt));
+  EXPECT_TRUE(polys_equal(sk.s_coeff, sk2.s_coeff));
+}
+
+TEST_F(WireTest, SecondParamSetRoundTrips) {
+  // A different ring (N = 4096, different chain) gets its own fingerprint
+  // and round-trips under it.
+  const CkksParams params = CkksParams::for_depth(4096, 5, 35);
+  EXPECT_NE(io::params_fingerprint(params),
+            io::params_fingerprint(rt_->ctx().params()));
+  const CkksParams back = io::deserialize_params(io::serialize(params));
+  EXPECT_EQ(back.poly_degree, params.poly_degree);
+  EXPECT_EQ(back.q_bits, params.q_bits);
+  EXPECT_EQ(back.special_bits, params.special_bits);
+  EXPECT_EQ(back.scale, params.scale);
+
+  const CkksContext ctx(params);
+  RnsPoly poly(&ctx, 3, /*with_special=*/true, /*ntt_form=*/false);
+  sp::Rng rng(17);
+  poly.sample_uniform(rng);
+  EXPECT_TRUE(polys_equal(poly, io::deserialize_poly(io::serialize(poly), ctx)));
+}
+
+TEST_F(WireTest, PlanRoundTripPreservesSchedule) {
+  const auto pipe = smartpaf::FhePipeline::builder()
+                        .window({0.5, 0.25})
+                        .linear(1.1, 0.2)
+                        .build();
+  const smartpaf::Plan plan =
+      smartpaf::Planner::plan(pipe, rt_->ctx(), smartpaf::CostModel::heuristic());
+  const smartpaf::Plan back =
+      io::deserialize_plan(io::serialize(plan, rt_->ctx()), rt_->ctx());
+  EXPECT_EQ(back.chain_levels, plan.chain_levels);
+  EXPECT_EQ(back.levels_used, plan.levels_used);
+  EXPECT_EQ(back.pack_stride, plan.pack_stride);
+  EXPECT_EQ(back.rotation_steps(), plan.rotation_steps());
+  ASSERT_EQ(back.stages.size(), plan.stages.size());
+  for (std::size_t i = 0; i < plan.stages.size(); ++i) {
+    EXPECT_EQ(back.stages[i].label, plan.stages[i].label);
+    EXPECT_EQ(back.stages[i].level_in, plan.stages[i].level_in);
+    EXPECT_EQ(back.stages[i].level_out, plan.stages[i].level_out);
+    EXPECT_EQ(back.stages[i].folded, plan.stages[i].folded);
+    EXPECT_EQ(back.stages[i].rotation_steps, plan.stages[i].rotation_steps);
+  }
+  // The schedule description (what run() consumes) survives verbatim.
+  EXPECT_EQ(back.describe(), plan.describe());
+}
+
+// ---------------------------------------------------------------- rejection --
+
+TEST_F(WireTest, RejectsForeignAndCorruptBlobs) {
+  const auto slots = random_slots(21);
+  const Ciphertext ct = rt_->encrypt(slots);
+  std::vector<std::uint8_t> blob = io::serialize(ct);
+
+  // Wrong magic.
+  {
+    auto bad = blob;
+    bad[0] = 'X';
+    expect_error_containing(
+        [&] { io::deserialize_ciphertext(bad, rt_->ctx()); }, "magic");
+  }
+  // Unsupported version.
+  {
+    auto bad = blob;
+    bad[4] = 0x2a;
+    expect_error_containing(
+        [&] { io::deserialize_ciphertext(bad, rt_->ctx()); }, "version");
+  }
+  // Right header, wrong kind: a public-key blob is not a ciphertext.
+  expect_error_containing(
+      [&] { io::deserialize_ciphertext(io::serialize(rt_->public_key()), rt_->ctx()); },
+      "expected a Ciphertext");
+  // Mismatched ring: blobs from this context are rejected by another chain.
+  {
+    const CkksContext other(CkksParams::for_depth(4096, 5, 35));
+    expect_error_containing([&] { io::deserialize_ciphertext(blob, other); },
+                            "fingerprint");
+  }
+  // Truncation anywhere in the payload.
+  {
+    auto bad = blob;
+    bad.resize(bad.size() - 1);
+    expect_error_containing(
+        [&] { io::deserialize_ciphertext(bad, rt_->ctx()); }, "truncated");
+  }
+  // Trailing garbage after the payload.
+  {
+    auto bad = blob;
+    bad.push_back(0);
+    expect_error_containing(
+        [&] { io::deserialize_ciphertext(bad, rt_->ctx()); }, "trailing");
+  }
+  // An out-of-range residue (tampered word) is rejected, not accepted as a
+  // valid ring element. First residue word starts after the 16-byte header,
+  // the 4-byte part count, and the poly prologue (8 n + 4 q_count + 2 bools
+  // + 8 span length); its MSB at +7 pushes it far above any 40-bit prime.
+  {
+    auto bad = blob;
+    bad[16 + 4 + 8 + 4 + 2 + 8 + 7] = 0xff;
+    expect_error_containing(
+        [&] { io::deserialize_ciphertext(bad, rt_->ctx()); }, "residue");
+  }
+  // A params blob whose fingerprint disagrees with its own payload was
+  // stitched or corrupted.
+  {
+    auto bad = io::serialize(rt_->ctx().params());
+    bad[8] ^= 0x01;  // flip one fingerprint bit
+    expect_error_containing([&] { io::deserialize_params(bad); }, "fingerprint");
+  }
+}
+
+// ----------------------------------------------------------------- serving --
+
+TEST_F(WireTest, KeygenlessRuntimeEvaluatesDeserializedPlanBitIdentically) {
+  // Client side: plan a pipeline, generate exactly the keys it needs.
+  const auto pipe = smartpaf::FhePipeline::builder()
+                        .window({0.4, 0.3, 0.2})
+                        .linear(0.9, 0.05)
+                        .build();
+  const smartpaf::Plan plan =
+      smartpaf::Planner::plan(pipe, rt_->ctx(), smartpaf::CostModel::heuristic());
+  const GaloisKeys& gk = rt_->rotation_keys(plan.rotation_steps());
+  const auto slots = random_slots(31);
+  const Ciphertext request = rt_->encrypt(slots);
+
+  // Everything crosses the "boundary" as bytes; the server reconstructs a
+  // runtime purely from blobs (fresh context, no keygen, no secret key).
+  auto ctx = std::make_unique<CkksContext>(
+      io::deserialize_params(io::serialize(rt_->ctx().params())));
+  const CkksContext& server_ctx = *ctx;
+  smartpaf::FheRuntime server(
+      std::move(ctx),
+      io::deserialize_public_key(io::serialize(rt_->public_key()), server_ctx),
+      io::deserialize_kswitch_key(io::serialize(rt_->relin_key()), server_ctx),
+      io::deserialize_galois_keys(io::serialize(gk), server_ctx));
+  EXPECT_FALSE(server.has_secret_key());
+  const smartpaf::Plan server_plan =
+      io::deserialize_plan(io::serialize(plan, rt_->ctx()), server.ctx());
+  const Ciphertext server_request =
+      io::deserialize_ciphertext(io::serialize(request), server.ctx());
+
+  // The served result must be BIT-identical to the key owner evaluating the
+  // same plan locally — proving the blobs carry the full evaluation state.
+  const Ciphertext local = pipe.run(*rt_, plan, request, nullptr);
+  const Ciphertext served = pipe.run(server, server_plan, server_request, nullptr);
+  const Ciphertext served_back =
+      io::deserialize_ciphertext(io::serialize(served), rt_->ctx());
+  EXPECT_TRUE(ciphertexts_equal(local, served_back));
+
+  // And it decrypts (client side) to the plaintext reference within 2^-20.
+  const std::vector<double> got = rt_->decrypt(served_back);
+  const std::vector<double> ref = pipe.reference(slots);
+  double worst = 0.0;
+  for (std::size_t j = 0; j < got.size(); ++j)
+    worst = std::max(worst, std::abs(got[j] - ref[j]));
+  EXPECT_LT(worst, kParityTol);
+}
+
+TEST_F(WireTest, KeygenlessRuntimeFailsLoudlyOnMissingCapabilities) {
+  auto ctx = std::make_unique<CkksContext>(rt_->ctx().params());
+  const CkksContext& server_ctx = *ctx;
+  const GaloisKeys& gk = rt_->rotation_keys({1});
+  smartpaf::FheRuntime server(
+      std::move(ctx),
+      io::deserialize_public_key(io::serialize(rt_->public_key()), server_ctx),
+      io::deserialize_kswitch_key(io::serialize(rt_->relin_key()), server_ctx),
+      io::deserialize_galois_keys(io::serialize(gk), server_ctx));
+  EXPECT_FALSE(server.has_secret_key());
+  // Decryption is impossible without the secret key.
+  expect_error_containing([&] { server.decryptor(); }, "secret");
+  expect_error_containing([&] { server.decrypt(server.encrypt({1.0})); }, "secret");
+  // Covered steps resolve fine; an uncovered step names itself.
+  EXPECT_NO_THROW(server.rotation_keys({1}));
+  expect_error_containing([&] { server.rotation_keys({1, 5}); }, "5");
+  // Public-key encryption still works server-side; ship the blob back to
+  // the key owner to read it (contexts are process-local, bytes are not).
+  const Ciphertext aux = server.encrypt(std::vector<double>(4, 0.5));
+  const std::vector<double> dec =
+      rt_->decrypt(io::deserialize_ciphertext(io::serialize(aux), rt_->ctx()));
+  EXPECT_NEAR(dec[0], 0.5, 1e-6);
+}
+
+}  // namespace
