@@ -67,7 +67,8 @@ int main(int argc, char** argv) {
     // One runtime (keygen) per ring size, shared across thread settings; the
     // pool size only affects how the same work is dispatched.
     smartpaf::FheRuntime rt(CkksParams::for_depth(n, 6, 40), /*seed=*/2024);
-    const GaloisKeys& gk = rt.rotation_keys(fan);
+    const auto gk_snapshot = rt.rotation_keys(fan);
+    const GaloisKeys& gk = *gk_snapshot;
     sp::Rng rng(3);
     std::vector<double> v(rt.ctx().slot_count());
     for (auto& x : v) x = rng.uniform(-1.0, 1.0);

@@ -1,0 +1,397 @@
+// Serving-layer throughput/latency bench: an AsyncExecutor packs requests
+// into shared ciphertexts under a latency deadline, so the headline numbers
+// are (a) sustained req/s at saturation versus the one-request-per-ciphertext
+// baseline (the batching payoff — the acceptance bar is >= 10x) and (b)
+// p50/p99 request latency under open-loop load at several batch deadlines
+// (the throughput-vs-latency dial).
+//
+// The served model is a dense 16->16->16 network with alpha=7 PAF-ReLUs:
+// the matmul diagonal fans and the deep PAF chains run once per GROUP, so
+// they dwarf the two per-request packing rotations — exactly the regime
+// deadline batching is for.
+//
+// Writes JSON to bench_out/serve.json. If bench/baselines/serve.json exists
+// (the CI smoke ships it), the run FAILS when p99 exceeds the recorded
+// `p99_ms_max` or the saturation speedup drops below `min_speedup`.
+//
+// Usage: bench_serve [quick]   ("quick" shrinks group size and request counts)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "approx/presets.h"
+#include "bench_common.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "io/serialize.h"
+#include "serve/async_executor.h"
+#include "serve/session_registry.h"
+#include "smartpaf/fhe_deploy.h"
+#include "smartpaf/pipeline.h"
+
+namespace {
+
+using namespace sp;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kInputSize = 16;
+constexpr std::uint64_t kClientId = 7;
+constexpr int kDistinctInputs = 4;
+
+/// A dense 16 -> 16 -> 16 network with alpha=7 PAF-ReLUs (mult depth 6 -> 8
+/// levels each): matmul 1 + relu 8 + matmul 1 + relu 8 + linear 1 = 19
+/// levels, 20 with the response mask. The matmul diagonal fans and the PAF
+/// chains are once-per-group work under packing — the regime deadline
+/// batching is built for.
+smartpaf::FhePipeline build_model() {
+  sp::Rng rng(41);
+  auto weights = [&rng] {
+    std::vector<double> w(kInputSize * kInputSize);
+    for (double& v : w) v = rng.uniform(-1.0, 1.0) / kInputSize;
+    return w;
+  };
+  return smartpaf::FhePipeline::builder()
+      .input_width(kInputSize)
+      .matmul(kInputSize, kInputSize, weights())
+      .paf_relu(approx::make_paf(approx::PafForm::ALPHA7), 2.0)
+      .matmul(kInputSize, kInputSize, weights(), std::vector<double>(kInputSize, 0.01))
+      .paf_relu(approx::make_paf(approx::PafForm::ALPHA7), 2.0)
+      .linear(1.1, -0.02)
+      .build();
+}
+
+/// Per-run outcome sink: correlates submits with outcomes, records latencies
+/// and keeps the first few result ciphertexts for the parity spot check.
+struct Collector {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unordered_map<std::uint64_t, Clock::time_point> submitted;
+  std::vector<double> latencies_ms;
+  std::vector<double> batch_sizes;
+  std::unordered_map<std::uint64_t, fhe::Ciphertext> kept;  ///< id -> result
+  std::size_t keep = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  Clock::time_point last_outcome;
+
+  serve::AsyncExecutor::OutcomeCallback callback() {
+    return [this](serve::Outcome o) {
+      const auto now = Clock::now();
+      std::unique_lock<std::mutex> lock(mu);
+      const auto it = submitted.find(o.id);
+      if (it != submitted.end()) {
+        latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(now - it->second).count());
+      }
+      batch_sizes.push_back(static_cast<double>(o.batch_size));
+      if (o.kind == serve::Outcome::Kind::Failed) {
+        ++failed;
+        std::printf("[bench] request %llu FAILED: %s\n",
+                    static_cast<unsigned long long>(o.id), o.error.c_str());
+      } else if (kept.size() < keep) {
+        kept.emplace(o.id, std::move(o.result));
+      }
+      ++done;
+      last_outcome = now;
+      lock.unlock();
+      cv.notify_all();
+    };
+  }
+
+  void wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done >= n; });
+  }
+};
+
+struct LoadResult {
+  double wall_ms = 0.0;       ///< first submit -> last outcome
+  double sustained_rps = 0.0;
+  double offered_rps = 0.0;   ///< 0 = burst (no pacing)
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch = 0.0;
+  std::size_t failed = 0;
+  serve::ExecutorStats stats;
+};
+
+/// Drives `count` submits of the pre-encrypted `inputs` (cycled) into `exec`,
+/// paced at `offered_rps` (0 = as fast as possible), and waits for every
+/// outcome. Rejections are a bench failure: the queue is sized for the load.
+LoadResult run_load(serve::AsyncExecutor& exec, std::shared_ptr<serve::Session> session,
+                    const std::vector<fhe::Ciphertext>& inputs, std::size_t count,
+                    double offered_rps, Collector& col, bool& ok) {
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (offered_rps > 0.0) {
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration<double>(static_cast<double>(i) / offered_rps));
+    }
+    fhe::Ciphertext req = inputs[i % inputs.size()];
+    const auto now = Clock::now();
+    const serve::Admission adm = exec.submit(session, std::move(req));
+    if (!adm.accepted) {
+      std::printf("[bench] FAIL: submit %zu rejected: %s\n", i, adm.reason.c_str());
+      ok = false;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(col.mu);
+    col.submitted.emplace(adm.id, now);
+  }
+  col.wait_for(count - (ok ? 0 : 1));
+
+  LoadResult r;
+  {
+    std::unique_lock<std::mutex> lock(col.mu);
+    r.wall_ms = std::chrono::duration<double, std::milli>(col.last_outcome - t0).count();
+    r.sustained_rps = r.wall_ms > 0.0
+                          ? static_cast<double>(col.done - col.failed) / (r.wall_ms / 1e3)
+                          : 0.0;
+    r.offered_rps = offered_rps;
+    r.p50_ms = percentile(col.latencies_ms, 50.0);
+    r.p99_ms = percentile(col.latencies_ms, 99.0);
+    RunningStats bs;
+    for (const double b : col.batch_sizes) bs.add(b);
+    r.mean_batch = bs.mean();
+    r.failed = col.failed;
+  }
+  r.stats = exec.stats();
+  if (r.failed > 0) ok = false;
+  return r;
+}
+
+/// Pulls `"key": <number>` out of a flat JSON object; NaN when absent.
+double json_number(const std::string& text, const std::string& key) {
+  const auto pos = text.find("\"" + key + "\"");
+  if (pos == std::string::npos) return std::nan("");
+  const auto colon = text.find(':', pos);
+  if (colon == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+std::string fmt(double v, int prec = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "quick";
+  const int group = quick ? 32 : 64;
+  const std::size_t n_base = quick ? 3 : 6;
+  const std::size_t n_sat = static_cast<std::size_t>(group) * (quick ? 2 : 3);
+  const std::size_t n_deadline = static_cast<std::size_t>(group) * (quick ? 1 : 2);
+  const std::vector<int> deadlines_ms = {10, 60};
+  bool ok = true;
+
+  std::printf("[bench] serve: N=2048 depth=20, input_size=%d, group=%d%s\n",
+              kInputSize, group, quick ? " (quick)" : "");
+
+  // Client side: full keygen runtime (encrypt + verify). Server side: a
+  // keygen-less Session built from copies of the public material, exactly
+  // what the registry holds in the real server.
+  const fhe::CkksParams params = fhe::CkksParams::for_depth(2048, 20, 40);
+  smartpaf::FheRuntime client(params, /*seed=*/2026);
+  serve::SessionRegistry registry(/*max_sessions=*/4);
+  // Key material and ciphertexts cross into the session through sp::io blobs
+  // (the session's context is its own instance; FHE objects are bound to the
+  // context they were deserialized against).
+  auto server_ctx =
+      std::make_unique<fhe::CkksContext>(io::deserialize_params(io::serialize(params)));
+  fhe::PublicKey server_pk =
+      io::deserialize_public_key(io::serialize(client.public_key()), *server_ctx);
+  fhe::KSwitchKey server_relin =
+      io::deserialize_kswitch_key(io::serialize(client.relin_key()), *server_ctx);
+  auto session = registry.open(kClientId, std::move(server_ctx), std::move(server_pk),
+                               std::move(server_relin), fhe::GaloisKeys{});
+
+  const smartpaf::FhePipeline model = build_model();
+  serve::ExecutorConfig base_cfg;
+  base_cfg.input_size = kInputSize;
+  base_cfg.group_capacity = group;
+  base_cfg.deadline = std::chrono::milliseconds(250);
+  base_cfg.max_queue = n_sat + static_cast<std::size_t>(group);
+
+  // The tenant's Galois keys: mint once against the batched executor's step
+  // set ({-s,+s} plus the plan's fans — the baseline needs a subset).
+  {
+    serve::AsyncExecutor probe(build_model(), base_cfg, [](serve::Outcome) {});
+    const std::vector<int> steps = probe.required_rotation_steps(*session);
+    session->adopt_rotation_keys(io::deserialize_galois_keys(
+        io::serialize(*client.rotation_keys(steps)), session->runtime().ctx()));
+    std::printf("[bench] session holds %zu rotation keys (steps:", steps.size());
+    for (const int s : steps) std::printf(" %d", s);
+    std::printf(")\n");
+  }
+
+  // Pre-encrypt a few distinct requests and cycle them, so open-loop arrival
+  // times measure the server, not client-side encryption.
+  sp::Rng rng(97);
+  std::vector<std::vector<double>> plain(kDistinctInputs);
+  std::vector<fhe::Ciphertext> inputs;
+  for (int i = 0; i < kDistinctInputs; ++i) {
+    std::vector<double> slots(client.ctx().slot_count(), 0.0);
+    for (int j = 0; j < kInputSize; ++j)
+      slots[static_cast<std::size_t>(j)] = rng.uniform(-1.0, 1.0);
+    plain[static_cast<std::size_t>(i)] = slots;
+    inputs.push_back(io::deserialize_ciphertext(io::serialize(client.encrypt(slots)),
+                                                session->runtime().ctx()));
+  }
+
+  // Warm the server context (NTT tables, plan, mask plaintext) off the clock.
+  {
+    serve::ExecutorConfig warm_cfg = base_cfg;
+    warm_cfg.group_capacity = 1;
+    Collector col;
+    serve::AsyncExecutor warm(build_model(), warm_cfg, col.callback());
+    warm.submit(session, inputs[0]);
+    col.wait_for(1);
+  }
+
+  Table table({"config", "deadline", "offered", "sustained", "p50_ms", "p99_ms",
+               "mean_batch", "flushes full/ddl/drain"});
+  auto add_row = [&](const std::string& name, const std::string& deadline,
+                     const LoadResult& r) {
+    std::ostringstream fl;
+    fl << r.stats.flush_full << "/" << r.stats.flush_deadline << "/"
+       << r.stats.flush_drain;
+    table.add_row({name, deadline, r.offered_rps > 0.0 ? fmt(r.offered_rps) : "burst",
+                   fmt(r.sustained_rps, 2), fmt(r.p50_ms), fmt(r.p99_ms),
+                   fmt(r.mean_batch), fl.str()});
+  };
+
+  // Phase 1: the one-request-per-ciphertext baseline — group_capacity 1 runs
+  // the full pipeline per request with zero packing rotations.
+  LoadResult base;
+  {
+    serve::ExecutorConfig cfg = base_cfg;
+    cfg.group_capacity = 1;
+    Collector col;
+    serve::AsyncExecutor exec(build_model(), cfg, col.callback());
+    base = run_load(exec, session, inputs, n_base, 0.0, col, ok);
+    add_row("unbatched (cap 1)", "-", base);
+  }
+
+  // Phase 2: saturation — a burst deep enough that every group fills, which
+  // is where batching pays its full E/k amortization.
+  LoadResult sat;
+  {
+    Collector col;
+    col.keep = kDistinctInputs;
+    serve::AsyncExecutor exec(build_model(), base_cfg, col.callback());
+    sat = run_load(exec, session, inputs, n_sat, 0.0, col, ok);
+    add_row("batched saturation", "-", sat);
+
+    // Parity spot check on the kept responses: each decrypts to the model's
+    // reference on its own slots and ~0 on the masked remainder.
+    const double budget = 1e-3;
+    for (const auto& kv : col.kept) {
+      const auto idx = static_cast<std::size_t>((kv.first - 1) % kDistinctInputs);
+      const std::vector<double> got = client.decrypt(
+          io::deserialize_ciphertext(io::serialize(kv.second), client.ctx()));
+      const std::vector<double> ref =
+          model.reference(plain[idx], static_cast<std::size_t>(kInputSize));
+      double worst = 0.0, foreign = 0.0;
+      for (std::size_t j = 0; j < got.size(); ++j) {
+        if (j < static_cast<std::size_t>(kInputSize))
+          worst = std::max(worst, std::abs(got[j] - ref[j]));
+        else
+          foreign = std::max(foreign, std::abs(got[j]));
+      }
+      if (worst > budget || foreign > budget) {
+        std::printf("[bench] FAIL: parity off (|err| %.2e, |foreign| %.2e)\n", worst,
+                    foreign);
+        ok = false;
+      }
+    }
+  }
+  const double speedup =
+      base.sustained_rps > 0.0 ? sat.sustained_rps / base.sustained_rps : 0.0;
+
+  // Phase 3: open-loop load below saturation at two deadlines — the latency
+  // cost of waiting for a fuller group, in p50/p99.
+  std::vector<std::pair<int, LoadResult>> runs;
+  for (const int d : deadlines_ms) {
+    serve::ExecutorConfig cfg = base_cfg;
+    cfg.deadline = std::chrono::milliseconds(d);
+    Collector col;
+    serve::AsyncExecutor exec(build_model(), cfg, col.callback());
+    const double offered = 0.5 * sat.sustained_rps;
+    LoadResult r = run_load(exec, session, inputs, n_deadline, offered, col, ok);
+    add_row("deadline-batched", fmt(static_cast<double>(d), 0) + " ms", r);
+    runs.emplace_back(d, r);
+  }
+
+  table.print(std::cout);
+  std::printf("\n[bench] saturation speedup vs unbatched: %.1fx (bar: >= 10x)\n",
+              speedup);
+  if (speedup < 10.0) {
+    std::printf("[bench] FAIL: batching speedup %.1fx below the 10x bar\n", speedup);
+    ok = false;
+  }
+
+  // Regression gate against the recorded baseline, when present.
+  double worst_p99 = 0.0;
+  for (const auto& dr : runs) worst_p99 = std::max(worst_p99, dr.second.p99_ms);
+  for (const char* path : {"bench/baselines/serve.json", "../bench/baselines/serve.json"}) {
+    std::ifstream in(path);
+    if (!in) continue;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const double p99_max = json_number(ss.str(), "p99_ms_max");
+    const double min_speedup = json_number(ss.str(), "min_speedup");
+    if (!std::isnan(p99_max) && worst_p99 > p99_max) {
+      std::printf("[bench] FAIL: p99 %.1f ms exceeds recorded baseline %.1f ms (%s)\n",
+                  worst_p99, p99_max, path);
+      ok = false;
+    } else if (!std::isnan(p99_max)) {
+      std::printf("[bench] p99 %.1f ms within baseline %.1f ms (%s)\n", worst_p99,
+                  p99_max, path);
+    }
+    if (!std::isnan(min_speedup) && speedup < min_speedup) {
+      std::printf("[bench] FAIL: speedup %.1fx below recorded baseline %.1fx (%s)\n",
+                  speedup, min_speedup, path);
+      ok = false;
+    }
+    break;
+  }
+
+  const std::string json_path = bench::out_dir() + "/serve.json";
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"quick\": %s,\n  \"group_capacity\": %d,\n", quick ? "true" : "false",
+                 group);
+    std::fprintf(f, "  \"baseline_rps\": %.4f,\n  \"saturation_rps\": %.4f,\n",
+                 base.sustained_rps, sat.sustained_rps);
+    std::fprintf(f, "  \"speedup\": %.2f,\n  \"deadline_runs\": [\n", speedup);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const LoadResult& r = runs[i].second;
+      std::fprintf(f,
+                   "    {\"deadline_ms\": %d, \"offered_rps\": %.2f, "
+                   "\"sustained_rps\": %.2f, \"p50_ms\": %.2f, \"p99_ms\": %.2f, "
+                   "\"mean_batch\": %.2f}%s\n",
+                   runs[i].first, r.offered_rps, r.sustained_rps, r.p50_ms, r.p99_ms,
+                   r.mean_batch, i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("[bench] wrote %s\n", json_path.c_str());
+  }
+  std::printf("[bench] %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

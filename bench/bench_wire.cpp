@@ -92,7 +92,8 @@ int main(int argc, char** argv) {
   std::vector<double> slots(rt.ctx().slot_count());
   for (auto& x : slots) x = rng.uniform(-1.0, 1.0);
   const Ciphertext ct = rt.encrypt(slots);
-  const GaloisKeys& gk = rt.rotation_keys({1, 2, 4, 8});
+  const auto gk_snapshot = rt.rotation_keys({1, 2, 4, 8});
+  const GaloisKeys& gk = *gk_snapshot;
   const auto pipe = smartpaf::FhePipeline::builder()
                         .window({0.5, 0.3, 0.2})
                         .linear(0.9, 0.05)

@@ -1,38 +1,49 @@
-// Serving skeleton over the sp::io wire format: a client (key owner) and a
-// server (model owner) exchange length-prefixed frames; only public key
-// material and ciphertexts ever cross the boundary.
+// Encrypted-inference serving demo over the sp::serve layer: a client (key
+// owner) and a server (model owner) exchange protocol messages (one sp::io
+// blob per frame); only public key material and ciphertexts ever cross the
+// boundary, and the model never leaves the server.
 //
-// Protocol, in frame order:
+// Handshake and request loop (serve/protocol.h):
 //
-//   client -> server   CkksParams | PublicKey | relin KSwitchKey
-//   server -> client   Plan (planned server-side against the client's chain)
-//   client -> server   GaloisKeys covering plan.rotation_steps()
-//   client -> server   request Ciphertext            (repeats until EOF)
-//   server -> client   result Ciphertext
+//   client -> server   Hello x3: CkksParams | PublicKey | relin KSwitchKey
+//   server -> client   SessionReady: rotation-steps blob (id = client id) —
+//                      the pipeline's fans plus the executor's packing steps
+//   client -> server   GaloisUpload: keys covering exactly those steps
+//   client -> server   Request*: ticket id + ciphertext  (until EOF)
+//   server -> client   Response*: echoes the ticket; Ok/Rejected/Failed
 //
-// The server reconstructs a keygen-less FheRuntime purely from the
-// deserialized blobs — it never sees the secret key and cannot decrypt
-// anything it computes. The client generates rotation keys only after the
-// plan arrives, so the server receives exactly the steps its schedule needs.
+// Server-side, requests flow through a SessionRegistry (params-fingerprint
+// validation) into an AsyncExecutor that packs up to group_capacity requests
+// into ONE ciphertext per flush (group-full or deadline) and answers every
+// ticket — responses arrive out of request order and are correlated by id.
+// Each response slice is masked, so a request only ever decrypts its own
+// output slots even though the batch shared a ciphertext.
 //
-// By default the server runs as a true second process (fork + pipes), so the
+// By default the two sides run as separate processes (fork + pipes), so the
 // round trip proves the blobs carry everything: no pointer, context or key
-// survives the process boundary except through sp::io. Exit status 0 iff the
-// decrypted result matches the plaintext reference within 2^-20.
+// survives the process boundary except through sp::io. Exit status 0 iff
+// every decrypted response matches the plaintext reference within budget
+// AND the masked (foreign) slots decrypt to ~0.
 //
 // Build & run:  ./build/serve_inference
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
 #include "io/serialize.h"
+#include "serve/async_executor.h"
+#include "serve/protocol.h"
+#include "serve/session_registry.h"
 #include "smartpaf/fhe_deploy.h"
 #include "smartpaf/pipeline.h"
-#include "smartpaf/pipeline_planner.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/wait.h>
@@ -44,18 +55,26 @@ namespace {
 
 using namespace sp;
 
-/// The served model: window conv -> PAF-ReLU -> diagonal linear. It lives
+/// Slots each request occupies; a protocol constant both sides agree on
+/// (a real deployment would advertise it during the handshake).
+constexpr int kInputSize = 64;
+constexpr int kRequests = 12;
+constexpr std::uint64_t kClientId = 1;
+
+/// The served model: linear -> PAF-ReLU -> linear, all slot-wise so each
+/// packed request's output depends only on its own slots (window stages
+/// would blend neighbouring requests across the packing boundary). It lives
 /// server-side; the client-side copy below exists only to compute the
-/// plaintext reference for the parity check (in a real deployment the client
-/// would not know the weights and would skip that check).
+/// plaintext reference for the parity check (a real client would not know
+/// the weights and would skip that check).
 smartpaf::FhePipeline build_pipeline() {
   sp::Rng rng(41);
   std::vector<double> c(8, 0.0);
   for (int k = 1; k <= 7; k += 2) c[static_cast<std::size_t>(k)] = rng.uniform(-1.0, 1.0) / 8.0;
   return smartpaf::FhePipeline::builder()
-      .window({0.5, 0.3, 0.2})
+      .linear(0.9, 0.0)
       .paf_relu(approx::CompositePaf("deg7", {approx::Polynomial(c)}), 2.0)
-      .linear(0.9, 0.05)
+      .linear(1.1, -0.02)
       .build();
 }
 
@@ -99,35 +118,119 @@ class FdBuf : public std::streambuf {
 
 /// Server side: owns the model, never the secret key.
 int server_main(std::istream& in, std::ostream& out) {
-  std::vector<std::uint8_t> buf;
-  sp::check(io::read_frame(in, buf), "server: client hung up before params");
-  auto ctx = std::make_unique<fhe::CkksContext>(io::deserialize_params(buf));
-  sp::check(io::read_frame(in, buf), "server: client hung up before the public key");
-  fhe::PublicKey pk = io::deserialize_public_key(buf, *ctx);
-  sp::check(io::read_frame(in, buf), "server: client hung up before the relin key");
-  fhe::KSwitchKey relin = io::deserialize_kswitch_key(buf, *ctx);
+  serve::SessionRegistry registry(/*max_sessions=*/4);
 
-  // Plan against the client's chain and ship the plan: the client answers
-  // with rotation keys for exactly the steps the schedule needs.
-  const smartpaf::FhePipeline pipe = build_pipeline();
-  const smartpaf::Plan plan =
-      smartpaf::Planner::plan(pipe, *ctx, smartpaf::CostModel::heuristic());
-  io::write_frame(out, io::serialize(plan, *ctx));
+  // Hello x3: params, public key, relin key.
+  serve::Msg msg;
+  sp::check(serve::read_msg(in, msg) && msg.kind == serve::MsgKind::Hello,
+            "server: expected Hello (params)");
+  auto ctx = std::make_unique<fhe::CkksContext>(io::deserialize_params(msg.payload));
+  const fhe::CkksContext& ctx_ref = *ctx;
+  sp::check(serve::read_msg(in, msg) && msg.kind == serve::MsgKind::Hello,
+            "server: expected Hello (public key)");
+  fhe::PublicKey pk = io::deserialize_public_key(msg.payload, ctx_ref);
+  sp::check(serve::read_msg(in, msg) && msg.kind == serve::MsgKind::Hello,
+            "server: expected Hello (relin key)");
+  fhe::KSwitchKey relin = io::deserialize_kswitch_key(msg.payload, ctx_ref);
 
-  sp::check(io::read_frame(in, buf), "server: client hung up before the Galois keys");
-  fhe::GaloisKeys galois = io::deserialize_galois_keys(buf, *ctx);
+  auto session = registry.open(kClientId, std::move(ctx), std::move(pk),
+                               std::move(relin), fhe::GaloisKeys{});
+  sp::check(!session->runtime().has_secret_key(), "server: must not hold a secret key");
 
-  // The runtime adopts the context the blobs were deserialized against.
-  smartpaf::FheRuntime rt(std::move(ctx), std::move(pk), std::move(relin),
-                          std::move(galois));
-  sp::check(!rt.has_secret_key(), "server: must not hold a secret key");
+  // Responses go out from both the reader thread (admission rejects) and the
+  // executor's worker (outcomes); one mutex serializes the frames.
+  std::mutex write_mu;
+  auto respond = [&](const serve::Msg& m) {
+    std::unique_lock<std::mutex> lock(write_mu);
+    serve::write_msg(out, m);
+  };
 
-  // Request loop: one result frame per ciphertext frame, until EOF.
-  while (io::read_frame(in, buf)) {
-    const fhe::Ciphertext request = io::deserialize_ciphertext(buf, rt.ctx());
-    const fhe::Ciphertext result = pipe.run(rt, plan, request, nullptr);
-    io::write_frame(out, io::serialize(result));
+  // Executor tickets are its own; map them back to the client's.
+  std::mutex ticket_mu;
+  std::unordered_map<std::uint64_t, std::uint64_t> tickets;
+
+  serve::ExecutorConfig cfg;
+  cfg.input_size = kInputSize;
+  cfg.group_capacity = 8;
+  cfg.deadline = std::chrono::milliseconds(25);
+  cfg.max_queue = 256;
+  serve::AsyncExecutor exec(build_pipeline(), cfg, [&](serve::Outcome o) {
+    std::uint64_t client_ticket = 0;
+    {
+      std::unique_lock<std::mutex> lock(ticket_mu);
+      client_ticket = tickets.at(o.id);
+      tickets.erase(o.id);
+    }
+    serve::Msg r;
+    r.kind = serve::MsgKind::Response;
+    r.id = client_ticket;
+    if (o.kind == serve::Outcome::Kind::Completed) {
+      r.status = serve::ResponseStatus::Ok;
+      r.payload = io::serialize(o.result);
+    } else {
+      r.status = serve::ResponseStatus::Failed;
+      r.error = o.error;
+    }
+    respond(r);
+  });
+
+  // Tell the client which Galois keys to mint: the plan's fans plus the
+  // executor's packing steps. The plan itself stays server-side.
+  {
+    serve::Msg ready;
+    ready.kind = serve::MsgKind::SessionReady;
+    ready.id = kClientId;
+    ready.payload = io::serialize_rotation_steps(
+        exec.required_rotation_steps(*session), session->runtime().ctx());
+    respond(ready);
   }
+  sp::check(serve::read_msg(in, msg) && msg.kind == serve::MsgKind::GaloisUpload,
+            "server: expected GaloisUpload");
+  session->adopt_rotation_keys(
+      io::deserialize_galois_keys(msg.payload, session->runtime().ctx()));
+  std::printf("server: session %llu ready, %zu rotation keys adopted\n",
+              static_cast<unsigned long long>(kClientId),
+              session->runtime().rotation_key_count());
+
+  // Request loop until EOF. Every ticket gets an answer: rejected here,
+  // completed/failed via the outcome callback.
+  while (serve::read_msg(in, msg)) {
+    if (msg.kind != serve::MsgKind::Request) continue;
+    serve::Msg reply;
+    reply.kind = serve::MsgKind::Response;
+    reply.id = msg.id;
+    try {
+      io::WireReader r(msg.payload);
+      const io::BlobHeader hdr = io::read_header(r);
+      auto sess = registry.find(kClientId, hdr.fingerprint);
+      fhe::Ciphertext request =
+          io::deserialize_ciphertext(msg.payload, sess->runtime().ctx());
+      const serve::Admission adm = exec.submit(sess, std::move(request));
+      if (adm.accepted) {
+        std::unique_lock<std::mutex> lock(ticket_mu);
+        tickets.emplace(adm.id, msg.id);
+        continue;
+      }
+      reply.status = serve::ResponseStatus::Rejected;
+      reply.error = adm.reason;
+    } catch (const std::exception& e) {
+      reply.status = serve::ResponseStatus::Rejected;
+      reply.error = e.what();
+    }
+    respond(reply);
+  }
+
+  exec.stop();  // flush the tail; every accepted ticket is answered
+  const serve::ExecutorStats st = exec.stats();
+  std::printf(
+      "server: %llu completed, %llu failed, %llu rejected; flushes full=%llu "
+      "deadline=%llu drain=%llu\n",
+      static_cast<unsigned long long>(st.completed),
+      static_cast<unsigned long long>(st.failed),
+      static_cast<unsigned long long>(st.rejected),
+      static_cast<unsigned long long>(st.flush_full),
+      static_cast<unsigned long long>(st.flush_deadline),
+      static_cast<unsigned long long>(st.flush_drain));
   return 0;
 }
 
@@ -135,34 +238,100 @@ int server_main(std::istream& in, std::ostream& out) {
 int client_main(std::istream& in, std::ostream& out) {
   const fhe::CkksParams params = fhe::CkksParams::for_depth(2048, 8, 40);
   smartpaf::FheRuntime rt(params, /*seed=*/2026);
-  io::write_frame(out, io::serialize(params));
-  io::write_frame(out, io::serialize(rt.public_key()));
-  io::write_frame(out, io::serialize(rt.relin_key()));
 
-  std::vector<std::uint8_t> buf;
-  sp::check(io::read_frame(in, buf), "client: server hung up before the plan");
-  const smartpaf::Plan plan = io::deserialize_plan(buf, rt.ctx());
-  std::printf("client: plan uses %d levels, %zu rotation steps\n", plan.levels_used,
-              plan.rotation_steps().size());
-  io::write_frame(out, io::serialize(rt.rotation_keys(plan.rotation_steps())));
+  auto hello = [&](std::vector<std::uint8_t> blob) {
+    serve::Msg m;
+    m.kind = serve::MsgKind::Hello;
+    m.payload = std::move(blob);
+    serve::write_msg(out, m);
+  };
+  hello(io::serialize(params));
+  hello(io::serialize(rt.public_key()));
+  hello(io::serialize(rt.relin_key()));
 
+  serve::Msg msg;
+  sp::check(serve::read_msg(in, msg) && msg.kind == serve::MsgKind::SessionReady,
+            "client: expected SessionReady");
+  const std::vector<int> steps = io::deserialize_rotation_steps(msg.payload, rt.ctx());
+  std::printf("client: session %llu, server wants keys for %zu rotation steps\n",
+              static_cast<unsigned long long>(msg.id), steps.size());
+  {
+    serve::Msg up;
+    up.kind = serve::MsgKind::GaloisUpload;
+    up.payload = io::serialize(*rt.rotation_keys(steps));
+    serve::write_msg(out, up);
+  }
+
+  // Responses come back batched and out of order; read them on their own
+  // thread so the server's writes never wait on our request sending.
+  std::mutex resp_mu;
+  std::map<std::uint64_t, serve::Msg> responses;
+  std::thread reader([&] {
+    serve::Msg r;
+    while (serve::read_msg(in, r)) {
+      if (r.kind != serve::MsgKind::Response) continue;
+      std::unique_lock<std::mutex> lock(resp_mu);
+      responses.emplace(r.id, std::move(r));
+      if (responses.size() >= static_cast<std::size_t>(kRequests)) return;
+    }
+  });
+
+  // Each request fills its own kInputSize slots; the rest stays zero (the
+  // server packs requests into the stride layout itself).
   sp::Rng rng(33);
-  std::vector<double> slots(rt.ctx().slot_count());
-  for (auto& x : slots) x = rng.uniform(-1.0, 1.0);
-  io::write_frame(out, io::serialize(rt.encrypt(slots)));
+  std::vector<std::vector<double>> sent(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    std::vector<double> slots(rt.ctx().slot_count(), 0.0);
+    for (int j = 0; j < kInputSize; ++j)
+      slots[static_cast<std::size_t>(j)] = rng.uniform(-1.0, 1.0);
+    sent[static_cast<std::size_t>(i)] = slots;
+    serve::Msg req;
+    req.kind = serve::MsgKind::Request;
+    req.id = static_cast<std::uint64_t>(i) + 1;
+    req.payload = io::serialize(rt.encrypt(slots));
+    serve::write_msg(out, req);
+  }
+  reader.join();
 
-  sp::check(io::read_frame(in, buf), "client: server hung up before the result");
-  const std::vector<double> got =
-      rt.decrypt(io::deserialize_ciphertext(buf, rt.ctx()));
-
-  const std::vector<double> ref = build_pipeline().reference(slots);
-  double worst = 0.0;
-  for (std::size_t j = 0; j < slots.size(); ++j)
-    worst = std::max(worst, std::abs(got[j] - ref[j]));
-  const double budget = std::ldexp(1.0, -20);
-  std::printf("client: max |served - reference| over %zu slots: %.2e (budget %.2e)\n",
-              slots.size(), worst, budget);
-  return worst < budget ? 0 : 1;
+  // Parity: each response must match the reference on its own slots AND
+  // decrypt to ~0 everywhere else (the server-side mask at work). Budget is
+  // 2^-18: the pipeline's 2^-20 plus the mask's extra plain-mult + rescale.
+  const smartpaf::FhePipeline pipe = build_pipeline();
+  const double budget = std::ldexp(1.0, -18);
+  double worst = 0.0, worst_foreign = 0.0;
+  int answered = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto ticket = static_cast<std::uint64_t>(i) + 1;
+    serve::Msg r;
+    {
+      std::unique_lock<std::mutex> lock(resp_mu);
+      const auto it = responses.find(ticket);
+      if (it == responses.end()) continue;
+      r = std::move(it->second);
+    }
+    if (r.status != serve::ResponseStatus::Ok) {
+      std::printf("client: ticket %llu %s: %s\n",
+                  static_cast<unsigned long long>(ticket),
+                  r.status == serve::ResponseStatus::Rejected ? "rejected" : "failed",
+                  r.error.c_str());
+      continue;
+    }
+    ++answered;
+    const std::vector<double> got =
+        rt.decrypt(io::deserialize_ciphertext(r.payload, rt.ctx()));
+    const std::vector<double> ref = pipe.reference(sent[static_cast<std::size_t>(i)]);
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      if (j < static_cast<std::size_t>(kInputSize))
+        worst = std::max(worst, std::abs(got[j] - ref[j]));
+      else
+        worst_foreign = std::max(worst_foreign, std::abs(got[j]));
+    }
+  }
+  std::printf(
+      "client: %d/%d answered; max |served - reference| %.2e, max |foreign slot| "
+      "%.2e (budget %.2e)\n",
+      answered, kRequests, worst, worst_foreign, budget);
+  return (answered == kRequests && worst < budget && worst_foreign < budget) ? 0 : 1;
 }
 
 }  // namespace
@@ -203,7 +372,7 @@ int main() {
   std::printf("server exited %d, client exited %d\n", server_rc, rc);
   return rc != 0 ? rc : server_rc;
 #else
-  std::printf("serve_inference needs POSIX pipes/fork; see tests/test_wire.cpp for the "
+  std::printf("serve_inference needs POSIX pipes/fork; see tests/test_serve.cpp for the "
               "in-process round trip\n");
   return 0;
 #endif

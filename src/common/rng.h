@@ -16,6 +16,13 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : gen_(seed) {}
 
+  /// Seeds the engine's full state from a std::seed_seq — the entropy-pooling
+  /// path (e.g. several std::random_device draws) for streams that must be
+  /// unpredictable rather than reproducible. A single u64 seed can only ever
+  /// select 2^64 of the engine's states; seed_seq::generate spreads the
+  /// pooled words across the whole state vector.
+  explicit Rng(std::seed_seq& seq) : gen_(seq) {}
+
   /// Uniform double in [lo, hi).
   double uniform(double lo = 0.0, double hi = 1.0) {
     return std::uniform_real_distribution<double>(lo, hi)(gen_);

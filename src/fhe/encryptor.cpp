@@ -19,18 +19,21 @@ RnsPoly restrict_rows(const RnsPoly& full, int q_count) {
   return out;
 }
 
-/// 64 bits of real entropy for the seedless constructor. random_device is
-/// hardware-backed on every platform we target; two 32-bit draws fill the
-/// rng seed so distinct Encryptors never share a stream.
-std::uint64_t entropy_seed() {
+/// Entropy-seeded RNG for the seedless constructor. A single (or even a
+/// pair of) random_device draw(s) funneled through one u64 caps the stream
+/// at 64 bits of unpredictability — enumerable offline against recorded
+/// ciphertexts. Pool eight 32-bit draws through std::seed_seq instead, which
+/// spreads them across the engine's full state vector.
+sp::Rng entropy_rng() {
   std::random_device rd;
-  return (static_cast<std::uint64_t>(rd()) << 32) ^ static_cast<std::uint64_t>(rd());
+  std::seed_seq seq{rd(), rd(), rd(), rd(), rd(), rd(), rd(), rd()};
+  return sp::Rng(seq);
 }
 
 }  // namespace
 
 Encryptor::Encryptor(const CkksContext& ctx, PublicKey pk)
-    : Encryptor(ctx, std::move(pk), entropy_seed()) {}
+    : ctx_(&ctx), pk_(std::move(pk)), rng_(entropy_rng()) {}
 
 Encryptor::Encryptor(const CkksContext& ctx, PublicKey pk, std::uint64_t seed)
     : ctx_(&ctx), pk_(std::move(pk)), rng_(seed) {}

@@ -436,4 +436,21 @@ smartpaf::Plan deserialize_plan(const std::vector<std::uint8_t>& bytes,
   return plan;
 }
 
+std::vector<std::uint8_t> serialize_rotation_steps(const std::vector<int>& steps,
+                                                   const fhe::CkksContext& ctx) {
+  WireWriter w;
+  write_header(w, BlobKind::RotationSteps, params_fingerprint(ctx.params()));
+  w.i32_vec(steps);
+  return finish(w);
+}
+
+std::vector<int> deserialize_rotation_steps(const std::vector<std::uint8_t>& bytes,
+                                            const fhe::CkksContext& ctx) {
+  WireReader r(bytes);
+  expect_header(r, BlobKind::RotationSteps, params_fingerprint(ctx.params()));
+  std::vector<int> steps = r.i32_vec();
+  r.expect_done();
+  return steps;
+}
+
 }  // namespace sp::io

@@ -98,4 +98,16 @@ std::vector<std::uint8_t> serialize(const smartpaf::Plan& plan,
 smartpaf::Plan deserialize_plan(const std::vector<std::uint8_t>& bytes,
                                 const fhe::CkksContext& ctx);
 
+// ----------------------------------------------------------- serving extras --
+
+/// Rotation-step list for the serving handshake: after sending the plan, the
+/// server tells the client every slot offset its schedule rotates by
+/// (pipeline fans PLUS the executor's packing strides), and the client
+/// answers with Galois keys covering exactly that set — the server holds no
+/// secret key, so it cannot mint the keys itself.
+std::vector<std::uint8_t> serialize_rotation_steps(const std::vector<int>& steps,
+                                                   const fhe::CkksContext& ctx);
+std::vector<int> deserialize_rotation_steps(const std::vector<std::uint8_t>& bytes,
+                                            const fhe::CkksContext& ctx);
+
 }  // namespace sp::io

@@ -39,6 +39,7 @@ enum class BlobKind : std::uint16_t {
   KSwitchKey = 7,
   GaloisKeys = 8,
   Plan = 9,
+  RotationSteps = 10,  ///< serving handshake: steps the server's schedule needs
 };
 
 /// Appends little-endian scalars and raw bytes to an owned buffer.
@@ -205,15 +206,28 @@ inline void write_frame(std::ostream& os, const std::vector<std::uint8_t>& paylo
   os.flush();
 }
 
+/// Largest frame read_frame accepts unless the caller passes its own cap.
+/// The length prefix arrives from the peer BEFORE any payload validation, so
+/// an uncapped read would allocate whatever a hostile or corrupt prefix
+/// claims (0xFFFFFFFF = a ~4 GiB resize per frame). 1 GiB clears every blob
+/// the serving protocol ships (a full Galois key set is the largest) while
+/// bounding what one frame can pin.
+constexpr std::uint32_t kDefaultMaxFrameBytes = 1u << 30;
+
 /// Reads one frame; returns false on clean EOF before the length prefix
-/// (peer hung up between messages) and throws on a truncated frame.
-inline bool read_frame(std::istream& is, std::vector<std::uint8_t>& payload) {
+/// (peer hung up between messages) and throws on a truncated frame or a
+/// length prefix above `max_bytes` — rejected before any allocation.
+inline bool read_frame(std::istream& is, std::vector<std::uint8_t>& payload,
+                       std::uint32_t max_bytes = kDefaultMaxFrameBytes) {
   std::uint8_t len[4];
   is.read(reinterpret_cast<char*>(len), 4);
   if (is.gcount() == 0 && is.eof()) return false;
   sp::check(is.gcount() == 4, "wire: truncated frame length");
   std::uint32_t n = 0;
   for (int i = 0; i < 4; ++i) n |= static_cast<std::uint32_t>(len[i]) << (8 * i);
+  sp::check_fmt(n <= max_bytes, "wire: frame of ", n, " bytes exceeds the ", max_bytes,
+                "-byte cap (corrupt length prefix or hostile peer; raise the "
+                "caller's max_bytes if the frame is legitimate)");
   payload.resize(n);
   is.read(reinterpret_cast<char*>(payload.data()), static_cast<std::streamsize>(n));
   sp::check(static_cast<std::uint32_t>(is.gcount()) == n, "wire: truncated frame payload");

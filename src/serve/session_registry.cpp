@@ -1,0 +1,78 @@
+#include "serve/session_registry.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "io/serialize.h"
+
+namespace sp::serve {
+
+Session::Session(std::uint64_t client_id, std::unique_ptr<fhe::CkksContext> ctx,
+                 fhe::PublicKey pk, fhe::KSwitchKey relin, fhe::GaloisKeys galois)
+    : client_id_(client_id),
+      fingerprint_(io::params_fingerprint(ctx->params())),
+      rt_(std::move(ctx), std::move(pk), std::move(relin), std::move(galois)) {}
+
+SessionRegistry::SessionRegistry(std::size_t max_sessions)
+    : max_sessions_(max_sessions) {
+  sp::check(max_sessions_ >= 1, "SessionRegistry: max_sessions must be >= 1");
+}
+
+std::shared_ptr<Session> SessionRegistry::open(std::uint64_t client_id,
+                                               std::unique_ptr<fhe::CkksContext> ctx,
+                                               fhe::PublicKey pk, fhe::KSwitchKey relin,
+                                               fhe::GaloisKeys galois) {
+  auto session = std::make_shared<Session>(client_id, std::move(ctx), std::move(pk),
+                                           std::move(relin), std::move(galois));
+  std::unique_lock<std::mutex> lock(mu_);
+  if (auto it = sessions_.find(client_id); it != sessions_.end()) {
+    // Re-open replaces the old session (fresh key material wins) without
+    // counting as an eviction.
+    lru_.erase(it->second.lru_it);
+    sessions_.erase(it);
+  }
+  while (sessions_.size() >= max_sessions_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    sessions_.erase(victim);
+    ++evictions_;
+  }
+  lru_.push_front(client_id);
+  sessions_.emplace(client_id, Entry{session, lru_.begin()});
+  return session;
+}
+
+std::shared_ptr<Session> SessionRegistry::find(std::uint64_t client_id,
+                                               std::uint64_t fingerprint) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(client_id);
+  sp::check_fmt(it != sessions_.end(), "SessionRegistry: no session for client ",
+                client_id, " (never opened, or evicted — re-send the key material)");
+  sp::check_fmt(it->second.session->fingerprint() == fingerprint,
+                "SessionRegistry: client ", client_id, " request fingerprint ",
+                fingerprint, " does not match the session's parameter set (",
+                it->second.session->fingerprint(),
+                "); the blob was produced under a different ring/chain");
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.session;
+}
+
+void SessionRegistry::close(std::uint64_t client_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(client_id);
+  if (it == sessions_.end()) return;
+  lru_.erase(it->second.lru_it);
+  sessions_.erase(it);
+}
+
+std::size_t SessionRegistry::size() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+std::size_t SessionRegistry::evictions() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace sp::serve

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "smartpaf/fhe_deploy.h"
+
+namespace sp::serve {
+
+/// One tenant's server-side evaluation state: a keygen-less FheRuntime
+/// adopted from the tenant's wire blobs (context, public key, relin key and
+/// — usually in a later handshake frame — Galois keys). The session owns the
+/// heavyweight per-tenant state the registry's LRU bounds: the rotation-key
+/// store and the encoder's plaintext cache both live inside the runtime, so
+/// dropping a Session releases them together.
+///
+/// Sessions are handed out by shared_ptr: eviction removes the registry's
+/// reference, while requests already in flight keep the runtime alive until
+/// their group completes.
+class Session {
+ public:
+  /// @brief Adopts deserialized key material into a keygen-less runtime.
+  /// @param client_id  registry key (assigned by the transport layer)
+  /// @param ctx        context built from the tenant's params blob
+  /// @param pk/relin   tenant key material deserialized against *ctx
+  /// @param galois     rotation keys (often empty at open: the tenant sends
+  ///                   them after learning the plan's steps — see
+  ///                   adopt_rotation_keys)
+  Session(std::uint64_t client_id, std::unique_ptr<fhe::CkksContext> ctx,
+          fhe::PublicKey pk, fhe::KSwitchKey relin, fhe::GaloisKeys galois);
+
+  std::uint64_t client_id() const { return client_id_; }
+  /// @brief Fingerprint of the tenant's parameter set; every request blob
+  /// must match it (see SessionRegistry::find).
+  std::uint64_t fingerprint() const { return fingerprint_; }
+  smartpaf::FheRuntime& runtime() { return rt_; }
+
+  /// @brief Merges rotation keys arriving after open (the handshake's
+  /// Galois-upload frame). Thread-safe via the runtime's key store.
+  void adopt_rotation_keys(fhe::GaloisKeys keys) {
+    rt_.add_rotation_keys(std::move(keys));
+  }
+
+ private:
+  std::uint64_t client_id_;
+  std::uint64_t fingerprint_;
+  smartpaf::FheRuntime rt_;
+};
+
+/// Multi-tenant session store with LRU eviction.
+///
+/// Per-tenant runtimes are expensive to keep resident — Galois keys run to
+/// hundreds of MB at serving depths, and the encoder cache pins one
+/// plaintext per mask/diagonal — so the registry bounds how many stay live:
+/// `open` beyond `max_sessions` evicts the least-recently-used session
+/// (its keys and caches go with it; the tenant re-uploads on its next
+/// connect). `find` refreshes recency and enforces the params fingerprint,
+/// so a request encrypted under a different ring than the session's is
+/// rejected with a diagnostic instead of evaluated into garbage.
+///
+/// All methods are thread-safe; connection handlers share one registry.
+class SessionRegistry {
+ public:
+  /// @param max_sessions  resident-session bound (>= 1)
+  explicit SessionRegistry(std::size_t max_sessions = 16);
+
+  /// @brief Opens (or replaces) the session for `client_id`, evicting the
+  /// LRU session when the bound is hit. The new session is most-recent.
+  /// @return the freshly opened session
+  std::shared_ptr<Session> open(std::uint64_t client_id,
+                                std::unique_ptr<fhe::CkksContext> ctx,
+                                fhe::PublicKey pk, fhe::KSwitchKey relin,
+                                fhe::GaloisKeys galois);
+
+  /// @brief Looks up a session and refreshes its recency. Throws sp::Error
+  /// when the id is unknown (evicted or never opened) or when `fingerprint`
+  /// differs from the session's parameter fingerprint.
+  /// @param fingerprint  the request blob's params fingerprint
+  std::shared_ptr<Session> find(std::uint64_t client_id, std::uint64_t fingerprint);
+
+  /// @brief Drops one session immediately (tenant disconnect); no-op for
+  /// unknown ids.
+  void close(std::uint64_t client_id);
+
+  std::size_t size() const;
+  /// @brief Sessions evicted by the LRU bound since construction.
+  std::size_t evictions() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t max_sessions_;
+  std::size_t evictions_ = 0;
+  /// Most-recently-used at the front; `find`/`open` splice to the front.
+  std::list<std::uint64_t> lru_;
+  struct Entry {
+    std::shared_ptr<Session> session;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+  std::unordered_map<std::uint64_t, Entry> sessions_;
+};
+
+}  // namespace sp::serve

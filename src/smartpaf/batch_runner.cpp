@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <exception>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -75,6 +76,7 @@ BatchRunner::Prepared BatchRunner::prepare_group(std::vector<std::vector<double>
 BatchRunner::Result BatchRunner::finish_prepared(Prepared prep, double prep_hidden_ms) {
   Result res;
   res.ids = std::move(prep.ids);
+  if (eval_hook_) eval_hook_(res.ids);
   res.stats.batch_size = static_cast<int>(prep.inputs.size());
   res.stats.capacity = capacity_;
   res.stats.pack_ms = prep.pack_ms;
@@ -148,8 +150,9 @@ std::vector<BatchRunner::Result> BatchRunner::drain() {
 
   // On failure, every not-yet-started group goes back to the FRONT of the
   // queue (submission order preserved, ahead of anything submitted since),
-  // so a later drain() retries it — the group actually mid-flight is lost
-  // with the thrown error, exactly like the pre-overlap code.
+  // so a later drain() retries it — the group(s) actually mid-flight cannot
+  // be retried, so BatchDrainError names their ids (the server NACKs them)
+  // and carries every Result that completed before the failure.
   auto requeue_pairs = [this](std::vector<std::uint64_t>& ids,
                               std::vector<std::vector<double>>& inputs) {
     for (std::size_t b = inputs.size(); b-- > 0;)
@@ -161,6 +164,13 @@ std::vector<BatchRunner::Result> BatchRunner::drain() {
       requeue_pairs(groups[g].ids, groups[g].inputs);
     }
   };
+  auto drain_error = [](const std::exception& e, std::vector<std::uint64_t> lost,
+                        std::vector<Result> done) {
+    std::ostringstream os;
+    os << "BatchRunner::drain: mid-flight group lost " << lost.size()
+       << " request(s): " << e.what();
+    return BatchDrainError(os.str(), std::move(lost), std::move(done));
+  };
 
   std::vector<Result> results;
   results.reserve(groups.size());
@@ -168,12 +178,13 @@ std::vector<BatchRunner::Result> BatchRunner::drain() {
   if (!overlap_) {
     // Historical fully sequential schedule: pack -> encrypt -> eval per group.
     for (std::size_t i = 0; i < groups.size(); ++i) {
+      std::vector<std::uint64_t> ids = groups[i].ids;  // survives the moves below
       try {
         results.push_back(finish_prepared(
             prepare_group(std::move(groups[i].inputs), std::move(groups[i].ids)), 0.0));
-      } catch (...) {
+      } catch (const std::exception& e) {
         requeue_from(i + 1);
-        throw;
+        throw drain_error(e, std::move(ids), std::move(results));
       }
     }
     return results;
@@ -186,11 +197,14 @@ std::vector<BatchRunner::Result> BatchRunner::drain() {
   // to the sequential schedule; the helper only touches the encoder and
   // encryptor, never the evaluator or its counters.
   Prepared cur;
-  try {
-    cur = prepare_group(std::move(groups[0].inputs), std::move(groups[0].ids));
-  } catch (...) {
-    requeue_from(1);
-    throw;
+  {
+    std::vector<std::uint64_t> ids0 = groups[0].ids;  // survives the moves below
+    try {
+      cur = prepare_group(std::move(groups[0].inputs), std::move(groups[0].ids));
+    } catch (const std::exception& e) {
+      requeue_from(1);
+      throw drain_error(e, std::move(ids0), {});
+    }
   }
   double cur_hidden = 0.0;
   for (std::size_t i = 0; i < groups.size(); ++i) {
@@ -198,8 +212,10 @@ std::vector<BatchRunner::Result> BatchRunner::drain() {
     std::exception_ptr prep_error;
     std::thread helper;
     const bool has_next = i + 1 < groups.size();
+    std::vector<std::uint64_t> next_ids;
     if (has_next) {
       Group& g = groups[i + 1];
+      next_ids = g.ids;  // the helper moves g.ids; keep them for accounting
       helper = std::thread([this, &next, &prep_error, &g] {
         try {
           next = prepare_group(std::move(g.inputs), std::move(g.ids));
@@ -209,14 +225,24 @@ std::vector<BatchRunner::Result> BatchRunner::drain() {
       });
     }
 
+    std::vector<std::uint64_t> cur_ids = cur.ids;  // finish_prepared moves cur
     try {
       results.push_back(finish_prepared(std::move(cur), cur_hidden));
-    } catch (...) {
+    } catch (const std::exception& e) {
       if (helper.joinable()) helper.join();
-      // The already-prepared next group and the raw tail both survive.
-      if (has_next && !prep_error) requeue_pairs(next.ids, next.inputs);
+      std::vector<std::uint64_t> lost = std::move(cur_ids);
+      if (has_next) {
+        if (prep_error) {
+          // The helper's prepare failed too: the next group's inputs are
+          // consumed, so its ids are lost alongside the evaluating group's.
+          lost.insert(lost.end(), next_ids.begin(), next_ids.end());
+        } else {
+          // The already-prepared next group survives back onto the queue.
+          requeue_pairs(next.ids, next.inputs);
+        }
+      }
       requeue_from(i + 2);
-      throw;
+      throw drain_error(e, std::move(lost), std::move(results));
     }
 
     if (helper.joinable()) {
@@ -225,7 +251,11 @@ std::vector<BatchRunner::Result> BatchRunner::drain() {
       helper.join();
       if (prep_error) {
         requeue_from(i + 2);
-        std::rethrow_exception(prep_error);
+        try {
+          std::rethrow_exception(prep_error);
+        } catch (const std::exception& e) {
+          throw drain_error(e, std::move(next_ids), std::move(results));
+        }
       }
       const double stall_ms = stall_timer.ms();
       cur_hidden = std::max(0.0, next.pack_ms + next.encrypt_ms - stall_ms);
@@ -247,13 +277,15 @@ std::vector<fhe::Ciphertext> BatchRunner::extract(const fhe::Ciphertext& packed,
   }
   // Stride keys come from the runtime's shared store: generated on first
   // use, deduplicated against the window stage (and any other pipeline).
-  const fhe::GaloisKeys& gk = rt_->rotation_keys(steps);
+  // Keep the snapshot alive for the whole fan — the store may be extended
+  // concurrently by other threads, which swaps in a new snapshot.
+  const std::shared_ptr<const fhe::GaloisKeys> gk = rt_->rotation_keys(steps);
 
   // All-identity fans (extract of request 0 only) skip the decomposition
   // entirely — hoisting would be pure waste.
   if (std::all_of(steps.begin(), steps.end(), [](int s) { return s == 0; }))
     return std::vector<fhe::Ciphertext>(steps.size(), packed);
-  return ev.rotate_hoisted(packed, steps, gk);
+  return ev.rotate_hoisted(packed, steps, *gk);
 }
 
 }  // namespace sp::smartpaf

@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "approx/composite.h"
+#include "common/check.h"
 #include "smartpaf/fhe_deploy.h"
 #include "smartpaf/pipeline.h"
 #include "smartpaf/pipeline_planner.h"
@@ -177,8 +179,24 @@ class BatchRunner {
   /// With overlap enabled, group k+1's pack/encrypt runs on a helper thread
   /// while group k evaluates; the hidden client-side milliseconds land in
   /// that group's BatchStats::prep_hidden_ms.
+  ///
+  /// On failure, every not-yet-started group is requeued (ahead of anything
+  /// submitted since) for a later drain() to retry; the one group actually
+  /// mid-flight cannot be retried (its ciphertext state is gone), so drain
+  /// throws BatchDrainError naming exactly those lost ids — a server NACKs
+  /// them instead of leaking the requests — and carrying the Results of the
+  /// groups that DID complete before the failure. Holds for both the
+  /// sequential and the overlapped schedule.
   /// @return one Result per packed ciphertext evaluated; empty if idle
   std::vector<Result> drain();
+
+  /// @brief Test seam: invoked with the group's ticket ids at the start of
+  /// every packed evaluation (before any homomorphic op). Tests inject
+  /// failures for specific groups to pin drain()'s lost-id accounting; a
+  /// throwing hook behaves exactly like an evaluation failure.
+  void set_eval_hook(std::function<void(const std::vector<std::uint64_t>&)> hook) {
+    eval_hook_ = std::move(hook);
+  }
 
   /// @brief Extracts per-request ciphertexts from a packed result without
   /// decrypting: request b's slice is rotated to slot 0 via ONE hoisted
@@ -223,8 +241,32 @@ class BatchRunner {
   FhePipeline pipeline_;  ///< cfg_ lowered to a stage graph
   Plan plan_;             ///< fixed schedule for every packed ciphertext
   bool overlap_ = true;
+  std::function<void(const std::vector<std::uint64_t>&)> eval_hook_;
   std::deque<std::pair<std::uint64_t, std::vector<double>>> queue_;
   std::uint64_t next_id_ = 0;
+};
+
+/// @brief Thrown by BatchRunner::drain when a group fails mid-flight. The
+/// message carries the underlying failure; lost_ids() names the requests
+/// whose group cannot be retried (requeued groups are NOT listed — they
+/// remain pending and a later drain() picks them up), and completed() hands
+/// over the Results of the groups that finished before the failure, so no
+/// successful work is discarded with the error.
+class BatchDrainError : public sp::Error {
+ public:
+  BatchDrainError(const std::string& msg, std::vector<std::uint64_t> lost,
+                  std::vector<BatchRunner::Result> completed)
+      : sp::Error(msg), lost_(std::move(lost)), completed_(std::move(completed)) {}
+
+  /// @brief Ticket ids of the mid-flight group lost with this error.
+  const std::vector<std::uint64_t>& lost_ids() const { return lost_; }
+  /// @brief Results evaluated before the failure (move them out freely).
+  std::vector<BatchRunner::Result>& completed() { return completed_; }
+  const std::vector<BatchRunner::Result>& completed() const { return completed_; }
+
+ private:
+  std::vector<std::uint64_t> lost_;
+  std::vector<BatchRunner::Result> completed_;
 };
 
 }  // namespace sp::smartpaf

@@ -37,7 +37,7 @@ FheRuntime::FheRuntime(std::unique_ptr<fhe::CkksContext> ctx, fhe::PublicKey pk,
   encryptor_ = std::make_unique<fhe::Encryptor>(*ctx_, pk_);
   evaluator_ = std::make_unique<fhe::Evaluator>(*ctx_);
   paf_eval_ = std::make_unique<fhe::PafEvaluator>(*ctx_, *encoder_, *relin_);
-  rot_keys_ = std::move(galois);
+  rot_keys_ = std::make_shared<const fhe::GaloisKeys>(std::move(galois));
 }
 
 fhe::Decryptor& FheRuntime::decryptor() {
@@ -47,11 +47,14 @@ fhe::Decryptor& FheRuntime::decryptor() {
   return *decryptor_;
 }
 
-const fhe::GaloisKeys& FheRuntime::rotation_keys(const std::vector<int>& steps) {
+std::shared_ptr<const fhe::GaloisKeys> FheRuntime::rotation_keys(
+    const std::vector<int>& steps) {
+  std::unique_lock<std::mutex> lock(rot_mu_);
   std::vector<int> missing;
   for (int s : steps) {
     if (s == 0) continue;  // identity rotation needs no key
-    if (rot_keys_.keys.count(evaluator_->galois_element(s)) == 0) missing.push_back(s);
+    if (!rot_keys_ || rot_keys_->keys.count(evaluator_->galois_element(s)) == 0)
+      missing.push_back(s);
   }
   if (!missing.empty()) {
     if (!keygen_) {
@@ -62,10 +65,31 @@ const fhe::GaloisKeys& FheRuntime::rotation_keys(const std::vector<int>& steps) 
       os << "; ask the key owner for keys covering the plan";
       throw sp::Error(os.str());
     }
+    // Keygen outside the lock would be nicer for latency, but two threads
+    // minting the same step would duplicate the (expensive) work; extension
+    // is a once-per-step-set event, so hold the lock through keygen and the
+    // copy-on-write snapshot swap.
     fhe::GaloisKeys fresh = keygen_->galois_keys(missing);
-    for (auto& kv : fresh.keys) rot_keys_.keys.emplace(kv.first, std::move(kv.second));
+    auto next = std::make_shared<fhe::GaloisKeys>();
+    if (rot_keys_) next->keys = rot_keys_->keys;
+    for (auto& kv : fresh.keys) next->keys.emplace(kv.first, std::move(kv.second));
+    rot_keys_ = std::move(next);
   }
+  if (!rot_keys_) rot_keys_ = std::make_shared<const fhe::GaloisKeys>();
   return rot_keys_;
+}
+
+void FheRuntime::add_rotation_keys(fhe::GaloisKeys keys) {
+  std::unique_lock<std::mutex> lock(rot_mu_);
+  auto next = std::make_shared<fhe::GaloisKeys>();
+  if (rot_keys_) next->keys = rot_keys_->keys;
+  for (auto& kv : keys.keys) next->keys.insert_or_assign(kv.first, std::move(kv.second));
+  rot_keys_ = std::move(next);
+}
+
+std::size_t FheRuntime::rotation_key_count() const {
+  std::unique_lock<std::mutex> lock(rot_mu_);
+  return rot_keys_ ? rot_keys_->keys.size() : 0;
 }
 
 int FheRuntime::threads() const { return sp::ThreadPool::global().threads(); }

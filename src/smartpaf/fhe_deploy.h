@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "fhe/poly_eval.h"
 #include "smartpaf/replace.h"
@@ -57,17 +58,29 @@ class FheRuntime {
   bool has_secret_key() const { return decryptor_ != nullptr; }
 
   /// @brief Shared, deduplicated rotation-key store: generates keys only for
-  /// steps whose Galois element is not yet covered and returns the runtime's
-  /// one key set (stable reference; later calls may extend it in place).
+  /// steps whose Galois element is not yet covered, and returns an IMMUTABLE
+  /// snapshot of the store by shared_ptr — the returned key set never
+  /// mutates, so it stays valid (and race-free) for as long as the caller
+  /// holds the pointer, even while other connections' threads extend the
+  /// store concurrently. Extension installs a fresh snapshot under the store
+  /// mutex (copying the map — rare: once per previously-unseen step set),
+  /// which is what makes one runtime safe to share across an async serving
+  /// executor's worker threads.
   /// Every pipeline stage, BatchRunner fan and extract() stride draws from
   /// this store, so a step needed by several stages pays keygen once.
   /// A keygen-less (server-side) runtime cannot mint keys: it validates
   /// coverage of its deserialized store and throws naming the missing steps.
   /// @param steps  slot offsets (positive = left); 0 and duplicates are fine
-  const fhe::GaloisKeys& rotation_keys(const std::vector<int>& steps);
+  std::shared_ptr<const fhe::GaloisKeys> rotation_keys(const std::vector<int>& steps);
+
+  /// @brief Merges deserialized rotation keys into the shared store — the
+  /// serving adoption path, where Galois keys arrive in a later handshake
+  /// frame than the session-opening key material. Existing elements are
+  /// replaced. Thread-safe; snapshots already handed out are unaffected.
+  void add_rotation_keys(fhe::GaloisKeys keys);
 
   /// @brief Distinct Galois keys held by the shared rotation_keys() store.
-  std::size_t rotation_key_count() const { return rot_keys_.keys.size(); }
+  std::size_t rotation_key_count() const;
 
   /// @brief Lanes of the process-wide pool serving this runtime's hot loops
   /// (SMARTPAF_THREADS).
@@ -92,7 +105,10 @@ class FheRuntime {
   std::unique_ptr<fhe::Decryptor> decryptor_;  ///< null: server-side runtime
   std::unique_ptr<fhe::Evaluator> evaluator_;
   std::unique_ptr<fhe::PafEvaluator> paf_eval_;
-  fhe::GaloisKeys rot_keys_;  ///< shared rotation_keys() store
+  /// rotation_keys() store: an immutable snapshot swapped wholesale under
+  /// rot_mu_ on extension, so handed-out shared_ptrs stay stable.
+  mutable std::mutex rot_mu_;
+  std::shared_ptr<const fhe::GaloisKeys> rot_keys_;
 };
 
 /// Result of measuring one PAF-ReLU evaluation under CKKS.

@@ -446,7 +446,7 @@ fhe::Ciphertext FhePipeline::run(FheRuntime& rt, const Plan& plan,
                                    plan.pack_stride);
       std::vector<int> steps = sp_.rotation_steps;
       steps.insert(steps.end(), sp_.giant_steps.begin(), sp_.giant_steps.end());
-      cur = mv.apply(ev, cur, rt.rotation_keys(steps), sp_.hoist_fan, delta);
+      cur = mv.apply(ev, cur, *rt.rotation_keys(steps), sp_.hoist_fan, delta);
       continue;
     }
 
@@ -461,7 +461,7 @@ fhe::Ciphertext FhePipeline::run(FheRuntime& rt, const Plan& plan,
       std::vector<fhe::Ciphertext> rotated;
       if (!sp_.rotation_steps.empty())
         rotated = rotate_fan(ev, cur, sp_.rotation_steps,
-                             rt.rotation_keys(sp_.rotation_steps), sp_.hoist_fan);
+                             *rt.rotation_keys(sp_.rotation_steps), sp_.hoist_fan);
       const auto mask = [&](std::size_t i) {
         return enc.encode_cached(
             compact_mask_key(sp_.width_in, cp->stride, tile, i), delta,
@@ -490,7 +490,7 @@ fhe::Ciphertext FhePipeline::run(FheRuntime& rt, const Plan& plan,
       std::vector<fhe::Ciphertext> rotated;
       if (!sp_.rotation_steps.empty())
         rotated = rotate_fan(ev, cur, sp_.rotation_steps,
-                             rt.rotation_keys(sp_.rotation_steps), sp_.hoist_fan);
+                             *rt.rotation_keys(sp_.rotation_steps), sp_.hoist_fan);
       fhe::Ciphertext acc = cur;
       ev.multiply_plain_inplace(acc,
                                 enc.encode_scalar(win->taps[0], delta, acc.q_count()));
@@ -520,7 +520,7 @@ fhe::Ciphertext FhePipeline::run(FheRuntime& rt, const Plan& plan,
       // the same order as PafMaxPool1d and reference().
       std::vector<fhe::Ciphertext> rotated =
           rotate_fan(ev, cur, sp_.rotation_steps,
-                     rt.rotation_keys(sp_.rotation_steps), sp_.hoist_fan);
+                     *rt.rotation_keys(sp_.rotation_steps), sp_.hoist_fan);
       fhe::Ciphertext m = cur;
       for (fhe::Ciphertext& v : rotated)
         m = pe.max(ev, m, v, paf.paf, paf.input_scale, stats, nullptr, nullptr,

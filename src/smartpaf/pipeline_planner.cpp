@@ -69,7 +69,8 @@ CostModel CostModel::calibrate(FheRuntime& rt, int repeats) {
   for (auto& v : vb) v = rng.uniform(-1.0, 1.0);
   const fhe::Ciphertext a = rt.encrypt(va);
   const fhe::Ciphertext b = rt.encrypt(vb);
-  const fhe::GaloisKeys& gk = rt.rotation_keys({1});
+  const std::shared_ptr<const fhe::GaloisKeys> gk_snapshot = rt.rotation_keys({1});
+  const fhe::GaloisKeys& gk = *gk_snapshot;
   const fhe::Plaintext pt = rt.encoder().encode(vb, rt.ctx().scale(), a.q_count());
 
   const auto no_setup = [] { return 0; };

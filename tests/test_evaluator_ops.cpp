@@ -28,7 +28,7 @@ class EvaluatorOpsTest : public ::testing::Test {
     gk_ = std::make_unique<GaloisKeys>();
     // Snapshot of the runtime's deduplicated rotation-key store (the
     // galois_keys() shim was removed; rotation_keys is the one key surface).
-    *gk_ = rt_->rotation_keys({1, -1, 2, -2, 8});
+    *gk_ = *rt_->rotation_keys({1, -1, 2, -2, 8});
   }
   static void TearDownTestSuite() {
     gk_.reset();

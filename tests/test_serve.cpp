@@ -1,0 +1,481 @@
+// Serving-layer regression net: SessionRegistry LRU/fingerprint contracts,
+// AsyncExecutor flush reasons (deadline vs group-full vs drain), admission
+// control and backpressure, per-request outcome accounting on evaluation
+// failure, packed parity + response masking, the thread-safe rotation-key
+// store (exercised under TSan in CI), BatchRunner::drain's lost-id
+// accounting in both schedules, and the seedless Encryptor's entropy seeding.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "io/serialize.h"
+#include "serve/async_executor.h"
+#include "serve/session_registry.h"
+#include "smartpaf/batch_runner.h"
+#include "smartpaf/fhe_deploy.h"
+#include "smartpaf/pipeline.h"
+
+namespace {
+
+using namespace sp;
+using namespace std::chrono_literals;
+
+/// One client keygen runtime shared by every test (keygen dominates the
+/// suite's cost); server-side sessions are derived from it THROUGH the wire
+/// blobs, exactly like the serving handshake.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    client_ = std::make_unique<smartpaf::FheRuntime>(
+        fhe::CkksParams::for_depth(2048, 3, 40), /*seed=*/2028);
+  }
+  static void TearDownTestSuite() { client_.reset(); }
+
+  static std::shared_ptr<serve::Session> make_session(std::uint64_t id) {
+    auto ctx = std::make_unique<fhe::CkksContext>(
+        io::deserialize_params(io::serialize(client_->ctx().params())));
+    fhe::PublicKey pk =
+        io::deserialize_public_key(io::serialize(client_->public_key()), *ctx);
+    fhe::KSwitchKey relin =
+        io::deserialize_kswitch_key(io::serialize(client_->relin_key()), *ctx);
+    return std::make_shared<serve::Session>(id, std::move(ctx), std::move(pk),
+                                            std::move(relin), fhe::GaloisKeys{});
+  }
+
+  /// Opens a registry-held session built from the shared client material.
+  static std::shared_ptr<serve::Session> open_in(serve::SessionRegistry& reg,
+                                                 std::uint64_t id) {
+    auto ctx = std::make_unique<fhe::CkksContext>(
+        io::deserialize_params(io::serialize(client_->ctx().params())));
+    fhe::PublicKey pk =
+        io::deserialize_public_key(io::serialize(client_->public_key()), *ctx);
+    fhe::KSwitchKey relin =
+        io::deserialize_kswitch_key(io::serialize(client_->relin_key()), *ctx);
+    return reg.open(id, std::move(ctx), std::move(pk), std::move(relin),
+                    fhe::GaloisKeys{});
+  }
+
+  /// Encrypts client-side and crosses the wire into the session's context.
+  static fhe::Ciphertext request_for(serve::Session& session,
+                                     const std::vector<double>& head_values) {
+    std::vector<double> slots(client_->ctx().slot_count(), 0.0);
+    for (std::size_t i = 0; i < head_values.size(); ++i) slots[i] = head_values[i];
+    return io::deserialize_ciphertext(io::serialize(client_->encrypt(slots)),
+                                      session.runtime().ctx());
+  }
+
+  /// The cheapest maskable pipeline: y = 2x + 0.5 (1 level + 1 for the mask,
+  /// inside the depth-3 chain).
+  static smartpaf::FhePipeline affine_pipeline() {
+    return smartpaf::FhePipeline::builder().linear(2.0, 0.5).build();
+  }
+
+  static std::unique_ptr<smartpaf::FheRuntime> client_;
+};
+
+std::unique_ptr<smartpaf::FheRuntime> ServeTest::client_;
+
+/// Collects outcomes and lets tests block until N arrived.
+struct OutcomeSink {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<serve::Outcome> outcomes;
+
+  serve::AsyncExecutor::OutcomeCallback callback() {
+    return [this](serve::Outcome o) {
+      std::unique_lock<std::mutex> lock(mu);
+      outcomes.push_back(std::move(o));
+      lock.unlock();
+      cv.notify_all();
+    };
+  }
+  std::vector<serve::Outcome> wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu);
+    const bool got = cv.wait_for(lock, 30s, [&] { return outcomes.size() >= n; });
+    sp::check(got, "OutcomeSink: timed out waiting for outcomes");
+    return outcomes;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SessionRegistry
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, RegistryEvictsLeastRecentlyUsed) {
+  serve::SessionRegistry reg(/*max_sessions=*/2);
+  auto s1 = open_in(reg, 1);
+  auto s2 = open_in(reg, 2);
+  ASSERT_EQ(reg.size(), 2u);
+
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_EQ(reg.find(1, s1->fingerprint()).get(), s1.get());
+  open_in(reg, 3);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.evictions(), 1u);
+  EXPECT_THROW(reg.find(2, s2->fingerprint()), sp::Error);
+  EXPECT_NO_THROW(reg.find(1, s1->fingerprint()));
+  EXPECT_NO_THROW(reg.find(3, s1->fingerprint()));
+
+  // The evicted session stays alive for whoever still holds the shared_ptr
+  // (requests in flight keep evaluating against it).
+  EXPECT_EQ(s2->client_id(), 2u);
+}
+
+TEST_F(ServeTest, RegistryRejectsFingerprintMismatch) {
+  serve::SessionRegistry reg(4);
+  auto s = open_in(reg, 9);
+  EXPECT_NO_THROW(reg.find(9, s->fingerprint()));
+  bool threw = false;
+  try {
+    reg.find(9, s->fingerprint() + 1);
+  } catch (const sp::Error& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find("fingerprint"), std::string::npos);
+  }
+  EXPECT_TRUE(threw) << "mismatched fingerprint must throw";
+}
+
+TEST_F(ServeTest, RegistryReopenReplacesWithoutEviction) {
+  serve::SessionRegistry reg(2);
+  auto first = open_in(reg, 5);
+  auto second = open_in(reg, 5);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.evictions(), 0u);
+  EXPECT_EQ(reg.find(5, second->fingerprint()).get(), second.get());
+  EXPECT_NE(first.get(), second.get());
+}
+
+TEST_F(ServeTest, RegistryCloseDropsSession) {
+  serve::SessionRegistry reg(4);
+  auto s = open_in(reg, 6);
+  reg.close(6);
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_THROW(reg.find(6, s->fingerprint()), sp::Error);
+  EXPECT_NO_THROW(reg.close(12345));  // unknown ids are a no-op
+}
+
+// ---------------------------------------------------------------------------
+// AsyncExecutor
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, ExecutorFlushesOnDeadlineWhenGroupIsShort) {
+  serve::ExecutorConfig cfg;
+  cfg.input_size = 8;
+  cfg.group_capacity = 4;
+  cfg.deadline = 30ms;
+  OutcomeSink sink;
+  serve::AsyncExecutor exec(affine_pipeline(), cfg, sink.callback());
+  auto session = make_session(1);
+  session->adopt_rotation_keys(io::deserialize_galois_keys(
+      io::serialize(*client_->rotation_keys(exec.required_rotation_steps(*session))),
+      session->runtime().ctx()));
+
+  ASSERT_TRUE(exec.submit(session, request_for(*session, {0.25})).accepted);
+  ASSERT_TRUE(exec.submit(session, request_for(*session, {0.5})).accepted);
+  const auto outcomes = sink.wait_for(2);
+  for (const serve::Outcome& o : outcomes) {
+    EXPECT_EQ(o.kind, serve::Outcome::Kind::Completed);
+    EXPECT_EQ(o.flush, serve::FlushReason::Deadline);
+    EXPECT_EQ(o.batch_size, 2);
+  }
+  EXPECT_EQ(exec.stats().flush_deadline, 1u);
+  EXPECT_EQ(exec.stats().flush_full, 0u);
+}
+
+TEST_F(ServeTest, ExecutorFlushesImmediatelyWhenGroupFills) {
+  serve::ExecutorConfig cfg;
+  cfg.input_size = 8;
+  cfg.group_capacity = 3;
+  cfg.deadline = 10s;  // a deadline flush would time the test out
+  OutcomeSink sink;
+  serve::AsyncExecutor exec(affine_pipeline(), cfg, sink.callback());
+  auto session = make_session(1);
+  session->adopt_rotation_keys(io::deserialize_galois_keys(
+      io::serialize(*client_->rotation_keys(exec.required_rotation_steps(*session))),
+      session->runtime().ctx()));
+
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(exec.submit(session, request_for(*session, {0.1 * (i + 1)})).accepted);
+  const auto outcomes = sink.wait_for(3);
+  for (const serve::Outcome& o : outcomes) {
+    EXPECT_EQ(o.kind, serve::Outcome::Kind::Completed);
+    EXPECT_EQ(o.flush, serve::FlushReason::Full);
+    EXPECT_EQ(o.batch_size, 3);
+  }
+  EXPECT_EQ(exec.stats().flush_full, 1u);
+}
+
+TEST_F(ServeTest, ExecutorStopDrainsPendingRequests) {
+  serve::ExecutorConfig cfg;
+  cfg.input_size = 8;
+  cfg.group_capacity = 4;
+  cfg.deadline = 10s;
+  OutcomeSink sink;
+  serve::AsyncExecutor exec(affine_pipeline(), cfg, sink.callback());
+  auto session = make_session(1);
+  session->adopt_rotation_keys(io::deserialize_galois_keys(
+      io::serialize(*client_->rotation_keys(exec.required_rotation_steps(*session))),
+      session->runtime().ctx()));
+
+  ASSERT_TRUE(exec.submit(session, request_for(*session, {0.75})).accepted);
+  exec.stop();
+  const auto outcomes = sink.wait_for(1);
+  EXPECT_EQ(outcomes[0].kind, serve::Outcome::Kind::Completed);
+  EXPECT_EQ(outcomes[0].flush, serve::FlushReason::Drain);
+  // Post-stop submits are rejected, not queued.
+  const serve::Admission late = exec.submit(session, request_for(*session, {0.1}));
+  EXPECT_FALSE(late.accepted);
+}
+
+TEST_F(ServeTest, ExecutorBackpressureRejectsWithReason) {
+  serve::ExecutorConfig cfg;
+  cfg.input_size = 8;
+  cfg.group_capacity = 8;
+  cfg.deadline = 10s;  // nothing flushes while we probe the bound
+  cfg.max_queue = 2;
+  OutcomeSink sink;
+  serve::AsyncExecutor exec(affine_pipeline(), cfg, sink.callback());
+  auto session = make_session(1);
+  session->adopt_rotation_keys(io::deserialize_galois_keys(
+      io::serialize(*client_->rotation_keys(exec.required_rotation_steps(*session))),
+      session->runtime().ctx()));
+
+  const fhe::Ciphertext req = request_for(*session, {0.5});
+  ASSERT_TRUE(exec.submit(session, req).accepted);
+  ASSERT_TRUE(exec.submit(session, req).accepted);
+  const serve::Admission third = exec.submit(session, req);
+  EXPECT_FALSE(third.accepted);
+  EXPECT_NE(third.reason.find("saturated"), std::string::npos) << third.reason;
+  EXPECT_EQ(exec.stats().rejected, 1u);
+  exec.stop();  // both accepted requests still complete
+  const auto outcomes = sink.wait_for(2);
+  EXPECT_EQ(outcomes.size(), 2u);
+}
+
+TEST_F(ServeTest, ExecutorRejectsMalformedRequests) {
+  serve::ExecutorConfig cfg;
+  cfg.input_size = 8;
+  OutcomeSink sink;
+  serve::AsyncExecutor exec(affine_pipeline(), cfg, sink.callback());
+  auto session = make_session(1);
+
+  EXPECT_FALSE(exec.submit(nullptr, fhe::Ciphertext{}).accepted);
+  const serve::Admission bad = exec.submit(session, fhe::Ciphertext{});
+  EXPECT_FALSE(bad.accepted);
+  EXPECT_NE(bad.reason.find("parts"), std::string::npos) << bad.reason;
+  EXPECT_EQ(exec.stats().rejected, 2u);
+}
+
+TEST_F(ServeTest, ExecutorFailureReportsEveryLostId) {
+  serve::ExecutorConfig cfg;
+  cfg.input_size = 8;
+  cfg.group_capacity = 3;
+  cfg.deadline = 20ms;
+  OutcomeSink sink;
+  serve::AsyncExecutor exec(affine_pipeline(), cfg, sink.callback());
+  auto session = make_session(1);
+  std::vector<std::uint64_t> hook_ids;
+  exec.set_eval_hook([&](const std::vector<std::uint64_t>& ids) {
+    hook_ids = ids;
+    throw sp::Error("injected group failure");
+  });
+
+  std::set<std::uint64_t> submitted;
+  const fhe::Ciphertext req = request_for(*session, {0.5});
+  for (int i = 0; i < 3; ++i) {
+    const serve::Admission adm = exec.submit(session, req);
+    ASSERT_TRUE(adm.accepted);
+    submitted.insert(adm.id);
+  }
+  const auto outcomes = sink.wait_for(3);
+  std::set<std::uint64_t> failed;
+  for (const serve::Outcome& o : outcomes) {
+    EXPECT_EQ(o.kind, serve::Outcome::Kind::Failed);
+    EXPECT_NE(o.error.find("injected group failure"), std::string::npos);
+    failed.insert(o.id);
+  }
+  EXPECT_EQ(failed, submitted);  // every accepted ticket got its NACK
+  EXPECT_EQ(std::set<std::uint64_t>(hook_ids.begin(), hook_ids.end()), submitted);
+  EXPECT_EQ(exec.stats().failed, 3u);
+  EXPECT_EQ(exec.stats().completed, 0u);
+}
+
+TEST_F(ServeTest, PackedResponsesMatchReferenceAndMaskForeignSlots) {
+  serve::ExecutorConfig cfg;
+  cfg.input_size = 8;
+  cfg.group_capacity = 4;
+  cfg.deadline = 10s;
+  OutcomeSink sink;
+  serve::AsyncExecutor exec(affine_pipeline(), cfg, sink.callback());
+  auto session = make_session(1);
+  session->adopt_rotation_keys(io::deserialize_galois_keys(
+      io::serialize(*client_->rotation_keys(exec.required_rotation_steps(*session))),
+      session->runtime().ctx()));
+
+  sp::Rng rng(7);
+  std::vector<std::vector<double>> values(4);
+  std::vector<std::uint64_t> tickets;
+  for (auto& v : values) {
+    v.resize(8);
+    for (double& x : v) x = rng.uniform(-1.0, 1.0);
+    const serve::Admission adm = exec.submit(session, request_for(*session, v));
+    ASSERT_TRUE(adm.accepted);
+    tickets.push_back(adm.id);
+  }
+
+  const auto outcomes = sink.wait_for(4);
+  const double tol = 1e-4;
+  for (const serve::Outcome& o : outcomes) {
+    ASSERT_EQ(o.kind, serve::Outcome::Kind::Completed);
+    const std::size_t idx = static_cast<std::size_t>(
+        std::find(tickets.begin(), tickets.end(), o.id) - tickets.begin());
+    ASSERT_LT(idx, values.size());
+    const std::vector<double> got = client_->decrypt(
+        io::deserialize_ciphertext(io::serialize(o.result), client_->ctx()));
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      if (j < 8) {
+        EXPECT_NEAR(got[j], 2.0 * values[idx][j] + 0.5, tol)
+            << "request " << idx << " slot " << j;
+      } else {
+        // The linear stage's bias lands 0.5 in EVERY slot pre-mask, so a
+        // near-zero read here proves the response mask did its job.
+        EXPECT_NEAR(got[j], 0.0, tol) << "foreign slot " << j;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FheRuntime rotation-key store (S3): concurrent extension + stable snapshots
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, RotationKeyStoreIsThreadSafe) {
+  smartpaf::FheRuntime rt(fhe::CkksParams::for_depth(2048, 2, 40), /*seed=*/77);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&rt, &failed, t] {
+      for (int iter = 0; iter < 3; ++iter) {
+        const int own = t + 1;  // every thread keygens its own step + shared 1
+        const auto snapshot = rt.rotation_keys({1, own, -own});
+        if (!snapshot) {
+          failed = true;
+          return;
+        }
+        // Snapshots are immutable: concurrent extensions must never mutate a
+        // handed-out map (TSan enforces the absence of racing writes).
+        for (const int s : {1, own, -own}) {
+          if (snapshot->keys.find(rt.evaluator().galois_element(s)) ==
+              snapshot->keys.end()) {
+            failed = true;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GE(rt.rotation_key_count(), 8u);  // {+-1..+-4} dedup'd across threads
+}
+
+// ---------------------------------------------------------------------------
+// BatchRunner::drain lost-id accounting (S1), both schedules
+// ---------------------------------------------------------------------------
+
+TEST(BatchDrain, TypedErrorCarriesLostIdsAndRequeuesTheRest) {
+  smartpaf::FheRuntime rt(fhe::CkksParams::for_depth(2048, 6, 40), /*seed=*/2029);
+  sp::Rng coeff_rng(41);
+  std::vector<double> c(8, 0.0);
+  for (int k = 1; k <= 7; k += 2)
+    c[static_cast<std::size_t>(k)] = coeff_rng.uniform(-1.0, 1.0) / 8.0;
+  smartpaf::BatchConfig cfg;
+  cfg.input_size = static_cast<int>(rt.ctx().slot_count()) / 2;  // capacity 2
+  cfg.paf = approx::CompositePaf("deg7", {approx::Polynomial(c)});
+  cfg.input_scale = 2.0;
+
+  for (const bool overlap : {true, false}) {
+    smartpaf::BatchRunner runner(rt, cfg);
+    runner.set_overlap(overlap);
+
+    sp::Rng rng(11);
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 6; ++i) {
+      std::vector<double> input(4);
+      for (double& x : input) x = rng.uniform(-1.0, 1.0);
+      ids.push_back(runner.submit(std::move(input)));
+    }
+    // Groups are {ids[0],ids[1]}, {ids[2],ids[3]}, {ids[4],ids[5]}; fail the
+    // second mid-flight.
+    runner.set_eval_hook([&](const std::vector<std::uint64_t>& group) {
+      if (std::find(group.begin(), group.end(), ids[2]) != group.end())
+        throw sp::Error("injected mid-flight failure");
+    });
+
+    bool threw = false;
+    try {
+      runner.drain();
+    } catch (const smartpaf::BatchDrainError& e) {
+      threw = true;
+      EXPECT_EQ(e.lost_ids(), (std::vector<std::uint64_t>{ids[2], ids[3]}))
+          << "overlap=" << overlap;
+      ASSERT_EQ(e.completed().size(), 1u) << "overlap=" << overlap;
+      EXPECT_EQ(e.completed()[0].ids, (std::vector<std::uint64_t>{ids[0], ids[1]}));
+      EXPECT_NE(std::string(e.what()).find("injected mid-flight failure"),
+                std::string::npos);
+    }
+    EXPECT_TRUE(threw) << "drain must throw when a group is lost (overlap=" << overlap
+                       << ")";
+
+    // The untouched third group was requeued, and a clean drain picks it up.
+    EXPECT_EQ(runner.pending(), 2u) << "overlap=" << overlap;
+    runner.set_eval_hook(nullptr);
+    const auto results = runner.drain();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].ids, (std::vector<std::uint64_t>{ids[4], ids[5]}));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seedless Encryptor entropy (S4)
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, SeedlessEncryptorsDrawDistinctRandomness) {
+  const fhe::CkksContext& ctx = client_->ctx();
+  const fhe::Plaintext pt =
+      client_->encoder().encode(std::vector<double>(ctx.slot_count(), 0.5),
+                                ctx.scale(), ctx.q_count());
+  // Two seedless encryptors must not replay one randomness stream (the old
+  // default-seeded constructor made every process emit identical masks,
+  // which is a CPA-security collapse, not a determinism feature).
+  fhe::Encryptor a(ctx, client_->public_key());
+  fhe::Encryptor b(ctx, client_->public_key());
+  const fhe::Ciphertext ca = a.encrypt(pt);
+  const fhe::Ciphertext cb = b.encrypt(pt);
+  ASSERT_EQ(ca.parts.size(), 2u);
+  bool identical = true;
+  for (int row = 0; row < ca.parts[0].row_count() && identical; ++row) {
+    if (std::memcmp(ca.parts[0].row(row), cb.parts[0].row(row),
+                    sizeof(std::uint64_t) * static_cast<std::size_t>(ca.parts[0].n())) !=
+        0)
+      identical = false;
+  }
+  EXPECT_FALSE(identical);
+  // Both still decrypt to the same values, of course.
+  const std::vector<double> da = client_->decrypt(ca);
+  EXPECT_NEAR(da[0], 0.5, 1e-6);
+}
+
+}  // namespace

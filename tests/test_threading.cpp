@@ -145,7 +145,8 @@ void flatten(const Ciphertext& ct, std::vector<u64>& out) {
 WorkloadResult run_workload(int threads) {
   ThreadPool::set_global_threads(threads);
   smartpaf::FheRuntime rt(CkksParams::for_depth(2048, 4, 40), /*seed=*/99);
-  const GaloisKeys& gk = rt.rotation_keys({1, 2});
+  const auto gk_snapshot = rt.rotation_keys({1, 2});
+  const GaloisKeys& gk = *gk_snapshot;
 
   sp::Rng rng(5);
   std::vector<double> v(rt.ctx().slot_count());

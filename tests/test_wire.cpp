@@ -222,6 +222,26 @@ TEST(WirePrimitives, FramesRoundTripAndSignalCleanEof) {
   expect_error_containing([&] { io::read_frame(truncated, payload); }, "truncated");
 }
 
+TEST(WirePrimitives, FrameSizeCapRejectsHostilePrefixBeforeAllocation) {
+  // A hostile/corrupt length prefix must be rejected by the cap check, not
+  // handed to vector::resize (a 0xFFFFFFFF prefix would pin ~4 GiB).
+  std::stringstream hostile;
+  const std::uint8_t prefix[4] = {0xff, 0xff, 0xff, 0xff};
+  hostile.write(reinterpret_cast<const char*>(prefix), 4);
+  std::vector<std::uint8_t> payload;
+  expect_error_containing([&] { io::read_frame(hostile, payload); }, "exceeds");
+
+  // Caller-configurable cap: a legitimate frame one byte over it is refused,
+  // and accepted once the cap covers it.
+  std::stringstream channel;
+  io::write_frame(channel, std::vector<std::uint8_t>(16, 7));
+  expect_error_containing([&] { io::read_frame(channel, payload, 15); }, "exceeds");
+  std::stringstream again;
+  io::write_frame(again, std::vector<std::uint8_t>(16, 7));
+  EXPECT_TRUE(io::read_frame(again, payload, 16));
+  EXPECT_EQ(payload.size(), 16u);
+}
+
 // -------------------------------------------------------------- round trips --
 
 TEST_F(WireTest, PolyPlaintextCiphertextRoundTripBitIdentical) {
@@ -263,7 +283,8 @@ TEST_F(WireTest, KeyMaterialRoundTripsBitIdentical) {
     EXPECT_TRUE(polys_equal(relin.digits[i][1], relin2.digits[i][1]));
   }
 
-  const GaloisKeys& gk = rt_->rotation_keys({1, -2, 8});
+  const auto gk_snapshot = rt_->rotation_keys({1, -2, 8});
+  const GaloisKeys& gk = *gk_snapshot;
   const GaloisKeys gk2 = io::deserialize_galois_keys(io::serialize(gk), rt_->ctx());
   ASSERT_EQ(gk2.keys.size(), gk.keys.size());
   for (const auto& [elt, key] : gk.keys) {
@@ -400,7 +421,8 @@ TEST_F(WireTest, KeygenlessRuntimeEvaluatesDeserializedPlanBitIdentically) {
                         .build();
   const smartpaf::Plan plan =
       smartpaf::Planner::plan(pipe, rt_->ctx(), smartpaf::CostModel::heuristic());
-  const GaloisKeys& gk = rt_->rotation_keys(plan.rotation_steps());
+  const auto gk_snapshot = rt_->rotation_keys(plan.rotation_steps());
+  const GaloisKeys& gk = *gk_snapshot;
   const auto slots = random_slots(31);
   const Ciphertext request = rt_->encrypt(slots);
 
@@ -440,7 +462,8 @@ TEST_F(WireTest, KeygenlessRuntimeEvaluatesDeserializedPlanBitIdentically) {
 TEST_F(WireTest, KeygenlessRuntimeFailsLoudlyOnMissingCapabilities) {
   auto ctx = std::make_unique<CkksContext>(rt_->ctx().params());
   const CkksContext& server_ctx = *ctx;
-  const GaloisKeys& gk = rt_->rotation_keys({1});
+  const auto gk_snapshot = rt_->rotation_keys({1});
+  const GaloisKeys& gk = *gk_snapshot;
   smartpaf::FheRuntime server(
       std::move(ctx),
       io::deserialize_public_key(io::serialize(rt_->public_key()), server_ctx),

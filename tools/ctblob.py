@@ -31,6 +31,7 @@ KIND_NAMES = {
     7: "KSwitchKey",
     8: "GaloisKeys",
     9: "Plan",
+    10: "RotationSteps",
 }
 
 
