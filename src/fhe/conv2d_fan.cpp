@@ -1,0 +1,324 @@
+#include "fhe/conv2d_fan.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace sp::fhe {
+namespace {
+
+/// Floor-division giant step over channel offsets: g = n1 * floor(c / n1),
+/// so b = c - g lands in [0, n1) for negative offsets too.
+int giant_of(int c, int n1) {
+  int g = (c / n1) * n1;
+  if (c < 0 && g > c) g -= n1;
+  return g;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- ConvGeom --
+
+void ConvGeom::validate() const {
+  sp::check(in_channels >= 1 && out_channels >= 1, "ConvGeom: empty channel range");
+  sp::check(height >= 1 && width >= 1, "ConvGeom: empty spatial grid");
+  sp::check(kernel >= 1 && kernel <= height && kernel <= width,
+            "ConvGeom: kernel must fit the image");
+  sp::check(stride >= 1, "ConvGeom: stride must be >= 1");
+  sp::check(elem_stride >= 1 && row_stride >= 1 && ch_stride >= 1,
+            "ConvGeom: slot strides must be positive");
+  // Collision-free grid: a full row fits between row starts and a full
+  // channel plane between channel starts, so distinct (c, y, x) triples map
+  // to distinct slots and conv masks never overwrite each other.
+  sp::check((width - 1) * elem_stride < row_stride,
+            "ConvGeom: grid rows overlap (width * elem_stride > row_stride)");
+  sp::check((height - 1) * row_stride + (width - 1) * elem_stride < ch_stride,
+            "ConvGeom: channel planes overlap (spatial extent > ch_stride)");
+}
+
+// ------------------------------------------------------------ Conv2dFanPlan --
+
+Conv2dFanPlan Conv2dFanPlan::make(const std::vector<double>& weights,
+                                  const ConvGeom& g, int oc_lo, int oc_hi,
+                                  int ic_lo, int ic_hi, int n1) {
+  g.validate();
+  sp::check(n1 >= 0, "Conv2dFanPlan: n1 must be >= 0 (0 = rotation fan)");
+  sp::check(0 <= oc_lo && oc_lo < oc_hi && oc_hi <= g.out_channels &&
+                0 <= ic_lo && ic_lo < ic_hi && ic_hi <= g.in_channels,
+            "Conv2dFanPlan: channel ranges out of bounds");
+  sp::check(weights.size() == static_cast<std::size_t>(g.out_channels) *
+                                  g.in_channels * g.kernel * g.kernel,
+            "Conv2dFanPlan: weights must be [out][in][k][k]");
+
+  Conv2dFanPlan plan;
+  plan.n1 = n1;
+  const int nout = oc_hi - oc_lo;
+  const int nin = ic_hi - ic_lo;
+  std::set<int> babies, giants;
+  // Local channel offsets ascending keeps every giant group contiguous in
+  // the term list (giant_of is monotone in c), matching apply()'s walk.
+  for (int c = -(nout - 1); c < nin; ++c) {
+    const int gstep = n1 == 0 ? 0 : giant_of(c, n1) * g.ch_stride;
+    for (int dy = 0; dy < g.kernel; ++dy)
+      for (int dx = 0; dx < g.kernel; ++dx) {
+        bool nonzero = false;
+        for (int ol = std::max(0, -c); ol < std::min(nout, nin - c) && !nonzero;
+             ++ol) {
+          const int oc = oc_lo + ol;
+          const int ic = ic_lo + ol + c;
+          nonzero = weights[((static_cast<std::size_t>(oc) * g.in_channels + ic) *
+                                 g.kernel +
+                             dy) *
+                                g.kernel +
+                            dx] != 0.0;
+        }
+        if (!nonzero) continue;
+        ConvTerm t;
+        t.c = c;
+        t.dy = dy;
+        t.dx = dx;
+        t.shift = c * g.ch_stride + dy * g.row_stride + dx * g.elem_stride;
+        t.giant = gstep;
+        plan.terms.push_back(t);
+        if (t.shift - t.giant != 0) babies.insert(t.shift - t.giant);
+        if (t.giant != 0) giants.insert(t.giant);
+      }
+  }
+  plan.baby_steps.assign(babies.begin(), babies.end());
+  plan.giant_steps.assign(giants.begin(), giants.end());
+  plan.mask_mults = static_cast<int>(plan.terms.size());
+  return plan;
+}
+
+std::vector<int> Conv2dFanPlan::steps() const {
+  std::set<int> all(baby_steps.begin(), baby_steps.end());
+  all.insert(giant_steps.begin(), giant_steps.end());
+  return std::vector<int>(all.begin(), all.end());
+}
+
+// ----------------------------------------------------------- ConvChannelFan --
+
+ConvChannelFan::ConvChannelFan(const Encoder& enc, std::vector<double> weights,
+                               std::vector<double> bias, const ConvGeom& geom,
+                               int n1, std::size_t tile, int chans_per_block)
+    : enc_(&enc),
+      weights_(std::move(weights)),
+      bias_(std::move(bias)),
+      geom_(geom),
+      tile_(tile == 0 ? enc.slot_count() : tile),
+      cpb_(chans_per_block) {
+  geom_.validate();
+  const std::size_t slots = enc.slot_count();
+  sp::check(tile_ <= slots && slots % tile_ == 0,
+            "ConvChannelFan: tile must divide the slot count");
+  sp::check(cpb_ >= 1, "ConvChannelFan: chans_per_block must be >= 1");
+  sp::check(bias_.empty() ||
+                bias_.size() == static_cast<std::size_t>(geom_.out_channels),
+            "ConvChannelFan: bias must be empty or one value per output channel");
+  const int widest = std::min(cpb_, std::max(geom_.in_channels, geom_.out_channels));
+  sp::check_fmt(static_cast<std::size_t>(geom_.extent(widest)) <= tile_,
+                "ConvChannelFan: ", widest, "-channel block spans ",
+                geom_.extent(widest), " slots but the tile has ", tile_);
+  blocks_in_ = (geom_.in_channels + cpb_ - 1) / cpb_;
+  blocks_out_ = (geom_.out_channels + cpb_ - 1) / cpb_;
+
+  std::uint64_t h = kFnvOffset;
+  for (int v : {geom_.in_channels, geom_.out_channels, geom_.height, geom_.width,
+                geom_.kernel, geom_.stride, geom_.ch_stride, geom_.row_stride,
+                geom_.elem_stride, n1, cpb_})
+    h = fnv_mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  h = fnv_mix(h, static_cast<std::uint64_t>(tile_));
+  h = fnv_doubles(h, weights_);
+  h = fnv_doubles(h, bias_);
+  fingerprint_ = h;
+
+  pairs_.reserve(static_cast<std::size_t>(blocks_out_) * blocks_in_);
+  for (int bo = 0; bo < blocks_out_; ++bo)
+    for (int bi = 0; bi < blocks_in_; ++bi)
+      pairs_.push_back(Conv2dFanPlan::make(
+          weights_, geom_, bo * cpb_, std::min(geom_.out_channels, (bo + 1) * cpb_),
+          bi * cpb_, std::min(geom_.in_channels, (bi + 1) * cpb_), n1));
+}
+
+const Conv2dFanPlan* ConvChannelFan::pair_plan(int bo, int bi) const {
+  sp::check(0 <= bo && bo < blocks_out_ && 0 <= bi && bi < blocks_in_,
+            "ConvChannelFan: block index out of range");
+  const Conv2dFanPlan& p = pairs_[static_cast<std::size_t>(bo) * blocks_in_ + bi];
+  return p.terms.empty() ? nullptr : &p;
+}
+
+std::vector<int> ConvChannelFan::fan_steps(int bi) const {
+  std::set<int> steps;
+  for (int bo = 0; bo < blocks_out_; ++bo)
+    if (const Conv2dFanPlan* p = pair_plan(bo, bi))
+      steps.insert(p->baby_steps.begin(), p->baby_steps.end());
+  return std::vector<int>(steps.begin(), steps.end());
+}
+
+std::vector<int> ConvChannelFan::all_steps() const {
+  std::set<int> steps;
+  for (const Conv2dFanPlan& p : pairs_) {
+    steps.insert(p.baby_steps.begin(), p.baby_steps.end());
+    steps.insert(p.giant_steps.begin(), p.giant_steps.end());
+  }
+  return std::vector<int>(steps.begin(), steps.end());
+}
+
+int ConvChannelFan::total_masks() const {
+  int total = 0;
+  for (const Conv2dFanPlan& p : pairs_) total += p.mask_mults;
+  return total;
+}
+
+std::vector<double> ConvChannelFan::mask_slots(int bo, int bi,
+                                               const ConvTerm& t) const {
+  const std::size_t slots = enc_->slot_count();
+  const int tile = static_cast<int>(tile_);
+  std::vector<double> v(slots, 0.0);
+  const int nout = std::min(geom_.out_channels, (bo + 1) * cpb_) - bo * cpb_;
+  const int nin = std::min(geom_.in_channels, (bi + 1) * cpb_) - bi * cpb_;
+  const int oh = geom_.out_h(), ow = geom_.out_w();
+  const int ors = geom_.out_row_stride(), oes = geom_.out_elem_stride();
+  for (int ol = std::max(0, -t.c); ol < std::min(nout, nin - t.c); ++ol) {
+    const int oc = bo * cpb_ + ol;
+    const int ic = bi * cpb_ + ol + t.c;
+    const double w =
+        weights_[((static_cast<std::size_t>(oc) * geom_.in_channels + ic) *
+                      geom_.kernel +
+                  t.dy) *
+                     geom_.kernel +
+                 t.dx];
+    if (w == 0.0) continue;
+    for (int oy = 0; oy < oh; ++oy)
+      for (int ox = 0; ox < ow; ++ox) {
+        // Pre-rotation by the giant: the group rotation moves this weight
+        // back to the anchor slot where the output element lives.
+        const int p = ol * geom_.ch_stride + oy * ors + ox * oes;
+        const int at = ((p + t.giant) % tile + tile) % tile;
+        for (std::size_t base = 0; base < slots; base += tile_)
+          v[base + static_cast<std::size_t>(at)] = w;
+      }
+  }
+  return v;
+}
+
+std::vector<Ciphertext> ConvChannelFan::apply(Evaluator& ev,
+                                              const std::vector<Ciphertext>& in,
+                                              const GaloisKeys& gk, bool hoist,
+                                              double scale) const {
+  sp::check(static_cast<int>(in.size()) == blocks_in_,
+            "ConvChannelFan::apply: wrong input block count");
+  for (const Ciphertext& x : in) {
+    sp::check(x.size() == 2, "ConvChannelFan::apply: inputs must be 2-part");
+    sp::check(x.level() >= 1, "ConvChannelFan::apply: no level left for the rescale");
+  }
+  const int qc = in[0].q_count();
+
+  std::vector<std::optional<Ciphertext>> acc(
+      static_cast<std::size_t>(blocks_out_));
+  for (int bi = 0; bi < blocks_in_; ++bi) {
+    // One baby fan per input block, shared by every output block it feeds
+    // (the HoistedDecomposition pays its digit split once for the union).
+    const std::vector<int> fan = fan_steps(bi);
+    std::vector<Ciphertext> rotated;
+    if (!fan.empty()) {
+      if (hoist) {
+        rotated = ev.rotate_hoisted(in[static_cast<std::size_t>(bi)], fan, gk);
+      } else {
+        rotated.reserve(fan.size());
+        for (int s : fan)
+          rotated.push_back(ev.rotate(in[static_cast<std::size_t>(bi)], s, gk));
+      }
+    }
+    const auto baby = [&](int b) -> const Ciphertext& {
+      if (b == 0) return in[static_cast<std::size_t>(bi)];
+      const auto it = std::lower_bound(fan.begin(), fan.end(), b);
+      return rotated[static_cast<std::size_t>(it - fan.begin())];
+    };
+
+    for (int bo = 0; bo < blocks_out_; ++bo) {
+      const Conv2dFanPlan* plan = pair_plan(bo, bi);
+      if (plan == nullptr) continue;
+      // Giant groups in term order (contiguous by construction): mask every
+      // baby at Delta, join the group, rotate once, add into the output
+      // block's partial sum.
+      const std::vector<ConvTerm>& terms = plan->terms;
+      std::size_t i = 0;
+      while (i < terms.size()) {
+        const int g = terms[i].giant;
+        std::optional<Ciphertext> group;
+        for (; i < terms.size() && terms[i].giant == g; ++i) {
+          const ConvTerm& t = terms[i];
+          Ciphertext term = baby(t.shift - t.giant);
+          std::uint64_t key = fnv_mix(fingerprint_, 0x636f6e76ULL /* "conv" */);
+          key = fnv_mix(key, static_cast<std::uint64_t>(bo));
+          key = fnv_mix(key, static_cast<std::uint64_t>(bi));
+          key = fnv_mix(key, static_cast<std::uint64_t>(static_cast<std::int64_t>(t.c)));
+          key = fnv_mix(key, static_cast<std::uint64_t>(t.dy * geom_.kernel + t.dx));
+          ev.multiply_plain_inplace(
+              term, *enc_->encode_cached(key, scale, qc,
+                                         [&] { return mask_slots(bo, bi, t); }));
+          if (!group) {
+            group = std::move(term);
+          } else {
+            ev.add_inplace(*group, term);
+          }
+        }
+        Ciphertext out_g = g == 0 ? std::move(*group) : ev.rotate(*group, g, gk);
+        if (!acc[static_cast<std::size_t>(bo)]) {
+          acc[static_cast<std::size_t>(bo)] = std::move(out_g);
+        } else {
+          ev.add_inplace(*acc[static_cast<std::size_t>(bo)], out_g);
+        }
+      }
+    }
+  }
+
+  const bool has_bias =
+      std::any_of(bias_.begin(), bias_.end(), [](double b) { return b != 0.0; });
+  std::vector<Ciphertext> out;
+  out.reserve(static_cast<std::size_t>(blocks_out_));
+  for (int bo = 0; bo < blocks_out_; ++bo) {
+    Ciphertext y = [&] {
+      if (acc[static_cast<std::size_t>(bo)])
+        return std::move(*acc[static_cast<std::size_t>(bo)]);
+      // No nonzero term feeds this block: pay the same one-level schedule
+      // shape (mask to zero) so every output block lands at equal level.
+      Ciphertext z = in[0];
+      ev.multiply_plain_inplace(z, enc_->encode_scalar(0.0, scale, qc));
+      return z;
+    }();
+    ev.rescale_inplace(y);
+    if (has_bias) {
+      std::uint64_t key = fnv_mix(fingerprint_, 0x62696173ULL /* "bias" */);
+      key = fnv_mix(key, static_cast<std::uint64_t>(bo));
+      ev.add_plain_inplace(
+          y, *enc_->encode_cached(key, y.scale, y.q_count(), [&] {
+            std::vector<double> bv(enc_->slot_count(), 0.0);
+            const int nout =
+                std::min(geom_.out_channels, (bo + 1) * cpb_) - bo * cpb_;
+            const int oh = geom_.out_h(), ow = geom_.out_w();
+            const int ors = geom_.out_row_stride(), oes = geom_.out_elem_stride();
+            for (int ol = 0; ol < nout; ++ol) {
+              const double b = bias_[static_cast<std::size_t>(bo * cpb_ + ol)];
+              if (b == 0.0) continue;
+              for (int oy = 0; oy < oh; ++oy)
+                for (int ox = 0; ox < ow; ++ox) {
+                  const std::size_t at = static_cast<std::size_t>(
+                      ol * geom_.ch_stride + oy * ors + ox * oes);
+                  for (std::size_t base = 0; base < bv.size(); base += tile_)
+                    bv[base + at] = b;
+                }
+            }
+            return bv;
+          }));
+    }
+    out.push_back(std::move(y));
+  }
+  return out;
+}
+
+}  // namespace sp::fhe

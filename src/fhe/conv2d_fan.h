@@ -1,0 +1,163 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fhe/encoder.h"
+#include "fhe/evaluator.h"
+
+namespace sp::fhe {
+
+/// Geometry of one channel-packed 2-D convolution under the grid slot
+/// layout: input element (c, y, x) lives at slot
+///   c * ch_stride + y * row_stride + x * elem_stride
+/// and the output is written AT THE ANCHOR positions of the same grid —
+/// output element (oc, oy, ox) lands at
+///   oc * ch_stride + oy * (row_stride * stride) + ox * (elem_stride * stride),
+/// so strided convolutions compose without any repacking stage: the output
+/// is just a sparser grid with the same channel stride.
+///
+/// The key identity: the conv term (oc, ic, dy, dx) reads input slot
+/// out_pos + shift with the CONSTANT shift
+///   shift = (ic - oc) * ch_stride + dy * row_stride + dx * elem_stride,
+/// independent of (oy, ox) — so one rotation serves every output position
+/// and every (oc, ic) pair with the same channel offset c = ic - oc, exactly
+/// like an extended diagonal in the Halevi–Shoup method. Valid (pad = 0)
+/// convolutions only: every masked slot's rotation source stays inside the
+/// grid extent, so the cyclic slot rotation never drags in foreign data.
+struct ConvGeom {
+  int in_channels = 0;
+  int out_channels = 0;
+  int height = 0;      ///< input spatial rows
+  int width = 0;       ///< input spatial columns
+  int kernel = 1;      ///< square kernel side
+  int stride = 1;      ///< spatial stride (>= 1)
+  int ch_stride = 0;   ///< slots between consecutive channel planes
+  int row_stride = 0;  ///< slots between consecutive grid rows
+  int elem_stride = 1; ///< slots between consecutive grid columns
+
+  int out_h() const { return (height - kernel) / stride + 1; }
+  int out_w() const { return (width - kernel) / stride + 1; }
+  int out_row_stride() const { return row_stride * stride; }
+  int out_elem_stride() const { return elem_stride * stride; }
+  /// Slots a `channels`-plane block of this grid spans.
+  int extent(int channels) const {
+    return (channels - 1) * ch_stride + (height - 1) * row_stride +
+           (width - 1) * elem_stride + 1;
+  }
+  /// Throws unless the grid is collision-free (rows fit inside a channel
+  /// plane, columns inside a row) and the kernel fits the image.
+  void validate() const;
+};
+
+/// One planned conv term group: all (oc, ic) pairs at channel offset `c`
+/// sharing kernel tap (dy, dx) — one rotation + one mask multiplication.
+struct ConvTerm {
+  int c = 0;      ///< local channel offset ic_local - oc_local
+  int dy = 0;     ///< kernel row tap
+  int dx = 0;     ///< kernel column tap
+  int shift = 0;  ///< full slot shift of the term
+  int giant = 0;  ///< giant slot rotation (0 in fan mode); baby = shift - giant
+};
+
+/// Pure index-math schedule of one (output-block, input-block) pair of a
+/// channel-packed convolution.
+///
+/// Two modes, the planner's "fan vs. diagonal" choice:
+///  - n1 == 0 (rotation fan): every distinct term shift is its own rotation
+///    from the input — the im2col-style window fan, ~span * k^2 rotations
+///    (span = channel-offset span), all hoistable from one decomposition.
+///  - n1 >= 1 (BSGS over the channel offset): c splits as g + b with
+///    b in [0, n1); babies b * ch_stride + dy * row_stride + dx * elem_stride
+///    are shared across channel groups (<= n1 * k^2, hoistable) and each
+///    giant group rotates once by g * ch_stride with its masks pre-rotated
+///    at encode time. At >= 8 channels this rotates several times less than
+///    the fan.
+struct Conv2dFanPlan {
+  /// @brief Plans the pair covering output channels [oc_lo, oc_hi) and
+  /// input channels [ic_lo, ic_hi) of the full [out][in][k][k] weights.
+  /// Terms with all-zero weights are skipped. n1 == 0 selects fan mode.
+  static Conv2dFanPlan make(const std::vector<double>& weights, const ConvGeom& g,
+                            int oc_lo, int oc_hi, int ic_lo, int ic_hi, int n1);
+
+  std::vector<ConvTerm> terms;   ///< grouped by giant, ascending schedule order
+  std::vector<int> baby_steps;   ///< distinct nonzero baby rotations, ascending
+  std::vector<int> giant_steps;  ///< distinct nonzero giant rotations, ascending
+  int n1 = 0;                    ///< 0 = rotation fan, >= 1 = BSGS block size
+  int mask_mults = 0;            ///< plaintext multiplications (== terms.size())
+
+  int rotations() const {
+    return static_cast<int>(baby_steps.size() + giant_steps.size());
+  }
+  /// @brief Union of every rotation step the pair needs (keygen).
+  std::vector<int> steps() const;
+};
+
+/// Executes a planned channel-packed convolution on a (possibly
+/// multi-ciphertext) grid: per input block one optionally hoisted baby fan
+/// shared across every output block it feeds, one cached plaintext mask per
+/// term, one naive rotation per giant group, partial-sum joins by ciphertext
+/// addition across input blocks, a single rescale per output block, and an
+/// optional per-channel bias — consuming exactly one level, zero
+/// relinearizations.
+///
+/// Block layout: channels split into `chans_per_block`-channel blocks
+/// (input block bi holds input channels [bi * cpb, ...), output block bo
+/// likewise), so widths beyond the slot extent split into column blocks.
+/// With `tile` < slot_count the layout repeats per tile (BatchRunner
+/// packing); masks and bias replicate per tile like DiagonalMatVec.
+class ConvChannelFan {
+ public:
+  /// @param enc      encoder owning the plaintext cache
+  /// @param weights  [out_ch][in_ch][k][k] kernel, row-major
+  /// @param bias     empty, or one value per output channel
+  /// @param geom     grid geometry (validated)
+  /// @param n1       0 = rotation fan, >= 1 = BSGS channel block size
+  /// @param tile     slot-layout repeat stride; 0 = one layout over all slots
+  /// @param chans_per_block  channels per ciphertext block (both sides)
+  ConvChannelFan(const Encoder& enc, std::vector<double> weights,
+                 std::vector<double> bias, const ConvGeom& geom, int n1,
+                 std::size_t tile, int chans_per_block);
+
+  const ConvGeom& geom() const { return geom_; }
+  int blocks_in() const { return blocks_in_; }
+  int blocks_out() const { return blocks_out_; }
+  /// @brief The planned (bo, bi) pair; nullptr when no nonzero term links
+  /// the two blocks.
+  const Conv2dFanPlan* pair_plan(int bo, int bi) const;
+  /// @brief Distinct baby steps input block `bi` fans out to (union over
+  /// every output block it feeds) — what one hoisted decomposition serves.
+  std::vector<int> fan_steps(int bi) const;
+  /// @brief Union of every rotation step apply() executes (keygen).
+  std::vector<int> all_steps() const;
+  /// @brief Total plaintext mask multiplications across all pairs.
+  int total_masks() const;
+
+  /// @brief y = conv(x) (+ bias), one level below the inputs.
+  /// @param ev     evaluator to run on
+  /// @param in     blocks_in() 2-part ciphertexts at equal level/scale
+  /// @param gk     rotation keys covering all_steps()
+  /// @param hoist  route each input block's fan through one decomposition
+  /// @param scale  encoding scale for the mask plaintexts (Delta)
+  std::vector<Ciphertext> apply(Evaluator& ev, const std::vector<Ciphertext>& in,
+                                const GaloisKeys& gk, bool hoist,
+                                double scale) const;
+
+ private:
+  /// Mask of term `t` of pair (bo, bi), pre-rotated by its giant and tiled:
+  /// weight w[oc][oc + offset][dy][dx] at every valid output anchor.
+  std::vector<double> mask_slots(int bo, int bi, const ConvTerm& t) const;
+
+  const Encoder* enc_;
+  std::vector<double> weights_;
+  std::vector<double> bias_;
+  ConvGeom geom_;
+  std::size_t tile_;
+  int cpb_;
+  int blocks_in_;
+  int blocks_out_;
+  std::uint64_t fingerprint_;  ///< encode_cached key base (content hash)
+  std::vector<Conv2dFanPlan> pairs_;  ///< blocks_out x blocks_in, row-major
+};
+
+}  // namespace sp::fhe

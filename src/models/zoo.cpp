@@ -112,4 +112,30 @@ nn::Model mlp_head(const MlpHeadConfig& cfg) {
   return nn::Model(std::move(net), "mlp_head");
 }
 
+nn::Model lenet_small(const LenetConfig& cfg) {
+  sp::check(cfg.image >= 8 && cfg.in_channels >= 1 && cfg.conv1_channels >= 1 &&
+                cfg.conv2_channels >= 1 && cfg.num_classes >= 1,
+            "lenet_small: dimensions must be positive (image >= 8)");
+  const int after_conv1 = cfg.image - 2;  // valid 3x3
+  sp::check(cfg.pool >= 1 && after_conv1 % cfg.pool == 0,
+            "lenet_small: pool must divide the post-conv1 resolution");
+  const int after_pool = after_conv1 / cfg.pool;
+  const int after_conv2 = after_pool - 2;
+  sp::check(after_conv2 >= 1, "lenet_small: image too small for two 3x3 convs");
+
+  sp::Rng rng(cfg.seed);
+  auto net = std::make_unique<Sequential>("lenet_small");
+  net->add(std::make_unique<Conv2d>(cfg.in_channels, cfg.conv1_channels, 3, 1, 0,
+                                    rng, true, "conv1"));
+  net->add(std::make_unique<ReLU>("conv1.relu"));
+  net->add(std::make_unique<nn::AvgPool2d>(cfg.pool, cfg.pool, "pool"));
+  net->add(std::make_unique<Conv2d>(cfg.conv1_channels, cfg.conv2_channels, 3, 1, 0,
+                                    rng, true, "conv2"));
+  net->add(std::make_unique<ReLU>("conv2.relu"));
+  net->add(std::make_unique<Flatten>());
+  net->add(std::make_unique<Linear>(cfg.conv2_channels * after_conv2 * after_conv2,
+                                    cfg.num_classes, rng, true, "fc"));
+  return nn::Model(std::move(net), "lenet_small");
+}
+
 }  // namespace sp::models

@@ -54,4 +54,29 @@ struct MlpHeadConfig {
 /// The MLP head model; Linear layers sized per MlpHeadConfig.
 nn::Model mlp_head(const MlpHeadConfig& cfg);
 
+/// LeNet-style convolutional classifier that lowers END TO END through
+/// smartpaf::FhePipeline:
+///   Conv2d -> ReLU -> AvgPool2d -> Conv2d -> ReLU -> Flatten -> Linear.
+/// Every layer has a pipeline lowering: the convolutions become
+/// channel-packed ConvStages (rotation fan or channel-offset BSGS), the
+/// average pool a depthwise strided ConvStage, the ReLUs PAF activations
+/// after replace_site / Static-Scaling conversion, Flatten the slot
+/// identity on the channel-major grid, and the classifier a diagonal-method
+/// MatMulStage fed by the flattened grid's scattered columns. With the
+/// default config the plan consumes 1+4+1+1+4+1 = 12 levels under a
+/// degree-3 PAF, and tests/test_conv.cpp pins < 2^-20 parity against the
+/// plaintext forward in both single-ciphertext and column-split layouts.
+struct LenetConfig {
+  int image = 12;          ///< square input resolution (valid convs: >= 8)
+  int in_channels = 1;
+  int conv1_channels = 4;  ///< channels after the first 3x3 conv
+  int conv2_channels = 4;  ///< channels after the second 3x3 conv
+  int pool = 2;            ///< average-pool kernel == stride
+  int num_classes = 10;
+  std::uint64_t seed = 1;
+};
+
+/// The LeNet-small model; layers sized per LenetConfig.
+nn::Model lenet_small(const LenetConfig& cfg);
+
 }  // namespace sp::models

@@ -84,13 +84,17 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   std::vector<float> col(static_cast<std::size_t>(rows) * cols);
   for (int n = 0; n < batch; ++n) {
     im2col(x, n, col);
-    matmul(w_.value.data(), col.data(), &y.vec()[static_cast<std::size_t>(n) * out_ch_ * cols],
-           out_ch_, rows, cols);
-    if (has_bias_) {
-      for (int oc = 0; oc < out_ch_; ++oc) {
-        const float bv = b_.value[static_cast<std::size_t>(oc)];
-        float* row = &y.vec()[(static_cast<std::size_t>(n) * out_ch_ + oc) * cols];
-        for (int i = 0; i < cols; ++i) row[i] += bv;
+    for (int oc = 0; oc < out_ch_; ++oc) {
+      const float* wrow = &w_.value.vec()[static_cast<std::size_t>(oc) * rows];
+      float* out = &y.vec()[(static_cast<std::size_t>(n) * out_ch_ + oc) * cols];
+      const double bv =
+          has_bias_ ? static_cast<double>(b_.value[static_cast<std::size_t>(oc)]) : 0.0;
+      for (int i = 0; i < cols; ++i) {
+        double acc = bv;
+        for (int r = 0; r < rows; ++r)
+          acc += static_cast<double>(wrow[r]) *
+                 static_cast<double>(col[static_cast<std::size_t>(r) * cols + i]);
+        out[i] = static_cast<float>(acc);
       }
     }
   }
@@ -124,6 +128,21 @@ Tensor Conv2d::backward(const Tensor& gy) {
     }
   }
   return gx;
+}
+
+std::vector<double> Conv2d::weight_values() const {
+  std::vector<double> out(w_.value.numel());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<double>(w_.value[i]);
+  return out;
+}
+
+std::vector<double> Conv2d::bias_values() const {
+  if (!has_bias_) return {};
+  std::vector<double> out(b_.value.numel());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<double>(b_.value[i]);
+  return out;
 }
 
 void Conv2d::collect_params(std::vector<Param*>& out) {

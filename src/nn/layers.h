@@ -6,6 +6,9 @@
 namespace sp::nn {
 
 /// 2-D convolution (im2col + matmul), Kaiming-uniform initialized.
+/// forward() accumulates each output in double and rounds to float once, so
+/// the FHE channel-fan lowering (double precision plus ciphertext noise)
+/// stays within its 2^-20 parity budget against the plaintext forward.
 class Conv2d final : public Layer {
  public:
   Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad, sp::Rng& rng,
@@ -17,6 +20,14 @@ class Conv2d final : public Layer {
   std::string name() const override { return name_; }
 
   int out_channels() const { return out_ch_; }
+  int in_channels() const { return in_ch_; }
+  int kernel() const { return k_; }
+  int stride() const { return stride_; }
+  int pad() const { return pad_; }
+  /// [out_ch][in_ch][k][k] weights as doubles (FhePipeline conv lowering).
+  std::vector<double> weight_values() const;
+  /// Bias as doubles; empty when the layer was built without bias.
+  std::vector<double> bias_values() const;
 
  private:
   void im2col(const Tensor& x, int n, std::vector<float>& col) const;
@@ -202,6 +213,9 @@ class AvgPool2d final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& gy) override;
   std::string name() const override { return name_; }
+
+  int kernel() const { return k_; }
+  int stride() const { return stride_; }
 
  private:
   int k_, stride_;

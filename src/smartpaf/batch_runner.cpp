@@ -45,7 +45,9 @@ BatchRunner::BatchRunner(FheRuntime& rt, BatchConfig cfg, const CostModel& cost)
   pipeline_ = builder.build();
   // Plan with the packing stride so width-changing stages (compact/matmul)
   // would replicate their plaintexts per request; only meaningful when the
-  // stride tiles the slot vector exactly.
+  // stride tiles the slot vector exactly. A nonzero stride also pins every
+  // layout to a single ciphertext (the planner rejects multi-block column
+  // splits under packing — one tiled layout cannot span ciphertexts).
   PlanOptions popts;
   if (slots % cfg_.input_size == 0)
     popts.pack_stride = static_cast<std::size_t>(cfg_.input_size);

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "fhe/conv2d_fan.h"
 #include "fhe/diag_matvec.h"
 #include "nn/layers.h"
 #include "smartpaf/fhe_deploy.h"
@@ -82,6 +83,133 @@ struct PafEvalGuard {
 
 }  // namespace
 
+// -------------------------------------------------------------- StageLayout --
+
+StageLayout StageLayout::dense(std::size_t width, std::size_t extent) {
+  sp::check(width > 0 && extent > 0, "StageLayout: empty dense layout");
+  StageLayout l;
+  l.kind = Kind::Dense;
+  l.width = width;
+  l.block_width = std::min(width, extent);
+  l.blocks = static_cast<int>((width + extent - 1) / extent);
+  return l;
+}
+
+StageLayout StageLayout::grid(int channels, int height, int width_px, int ch_stride,
+                              int row_stride, int elem_stride, std::size_t extent) {
+  sp::check(channels >= 1 && height >= 1 && width_px >= 1,
+            "StageLayout: empty grid layout");
+  StageLayout l;
+  l.kind = Kind::Grid;
+  l.channels = channels;
+  l.height = height;
+  l.width_px = width_px;
+  l.ch_stride = ch_stride;
+  l.row_stride = row_stride;
+  l.elem_stride = elem_stride;
+  l.width = static_cast<std::size_t>(channels) * height * width_px;
+  sp::check_fmt(ch_stride >= 1 && static_cast<std::size_t>(ch_stride) <= extent,
+                "StageLayout: channel plane of ", ch_stride,
+                " slots exceeds the ", extent, "-slot layout");
+  l.chans_per_block = static_cast<int>(extent / static_cast<std::size_t>(ch_stride));
+  l.blocks = (channels + l.chans_per_block - 1) / l.chans_per_block;
+  // Slots one block of this grid actually spans (<= cpb * ch_stride <= extent
+  // by the collision-free invariant the conv geometry validates).
+  l.block_width = static_cast<std::size_t>(
+      (std::min(l.chans_per_block, channels) - 1) * ch_stride +
+      (height - 1) * row_stride + (width_px - 1) * elem_stride + 1);
+  return l;
+}
+
+std::string StageLayout::describe() const {
+  std::ostringstream os;
+  if (kind == Kind::Dense) {
+    os << "dense w" << width;
+  } else {
+    os << "grid " << channels << "x" << height << "x" << width_px << " s("
+       << ch_stride << "," << row_stride << "," << elem_stride << ")";
+  }
+  if (blocks > 1) os << " x" << blocks << "ct";
+  return os.str();
+}
+
+std::pair<int, std::size_t> layout_slot(const StageLayout& layout, std::size_t i) {
+  sp::check(i < layout.width, "layout_slot: element index out of range");
+  if (layout.kind == StageLayout::Kind::Dense) {
+    // block_width is the FULL-block width; the last (ragged) block just holds
+    // fewer elements.
+    return {static_cast<int>(i / layout.block_width), i % layout.block_width};
+  }
+  const std::size_t plane = static_cast<std::size_t>(layout.height) * layout.width_px;
+  const int c = static_cast<int>(i / plane);
+  const std::size_t rem = i % plane;
+  const int y = static_cast<int>(rem / static_cast<std::size_t>(layout.width_px));
+  const int x = static_cast<int>(rem % static_cast<std::size_t>(layout.width_px));
+  const int b = c / layout.chans_per_block;
+  const std::size_t slot = static_cast<std::size_t>(
+      (c - b * layout.chans_per_block) * layout.ch_stride + y * layout.row_stride +
+      x * layout.elem_stride);
+  return {b, slot};
+}
+
+std::vector<std::vector<double>> pack_layout(const std::vector<double>& values,
+                                             const StageLayout& layout,
+                                             std::size_t slots) {
+  sp::check_fmt(values.size() <= layout.width, "pack_layout: ", values.size(),
+                " values exceed the layout's ", layout.width, " elements");
+  std::vector<std::vector<double>> out(
+      static_cast<std::size_t>(layout.blocks), std::vector<double>(slots, 0.0));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto [b, s] = layout_slot(layout, i);
+    sp::check(s < slots, "pack_layout: layout wider than the slot vector");
+    out[static_cast<std::size_t>(b)][s] = values[i];
+  }
+  return out;
+}
+
+std::vector<double> unpack_layout(const std::vector<std::vector<double>>& blocks,
+                                  const StageLayout& layout) {
+  sp::check(blocks.size() == static_cast<std::size_t>(layout.blocks),
+            "unpack_layout: wrong block count");
+  std::vector<double> out(layout.width, 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const auto [b, s] = layout_slot(layout, i);
+    const auto& block = blocks[static_cast<std::size_t>(b)];
+    sp::check(s < block.size(), "unpack_layout: layout wider than the slot vector");
+    out[i] = block[s];
+  }
+  return out;
+}
+
+std::vector<MatMulStage> split_matmul_blocks(const MatMulStage& mm,
+                                             const StageLayout& in) {
+  sp::check(static_cast<std::size_t>(mm.cols) == in.width,
+            "split_matmul_blocks: matmul cols must match the layout width");
+  std::vector<MatMulStage> out(static_cast<std::size_t>(in.blocks));
+  // Per-block input extent: the highest occupied slot + 1 of that block.
+  std::vector<std::size_t> extent(out.size(), 0);
+  for (std::size_t j = 0; j < in.width; ++j) {
+    const auto [b, s] = layout_slot(in, j);
+    extent[static_cast<std::size_t>(b)] =
+        std::max(extent[static_cast<std::size_t>(b)], s + 1);
+  }
+  for (std::size_t b = 0; b < out.size(); ++b) {
+    out[b].rows = mm.rows;
+    out[b].cols = static_cast<int>(std::max<std::size_t>(extent[b], 1));
+    out[b].weights.assign(
+        static_cast<std::size_t>(out[b].rows) * out[b].cols, 0.0);
+  }
+  for (std::size_t j = 0; j < static_cast<std::size_t>(mm.cols); ++j) {
+    const auto [b, s] = layout_slot(in, j);
+    MatMulStage& mb = out[static_cast<std::size_t>(b)];
+    for (int r = 0; r < mm.rows; ++r)
+      mb.weights[static_cast<std::size_t>(r) * mb.cols + s] =
+          mm.weights[static_cast<std::size_t>(r) * mm.cols + j];
+  }
+  out[0].bias = mm.bias;  // partial sums join once; the bias rides block 0
+  return out;
+}
+
 // ------------------------------------------------------------------ Builder --
 
 FhePipeline::Builder& FhePipeline::Builder::linear(std::vector<double> scale,
@@ -133,6 +261,39 @@ FhePipeline::Builder& FhePipeline::Builder::compact(int stride) {
   return *this;
 }
 
+FhePipeline::Builder& FhePipeline::Builder::conv(int in_channels, int out_channels,
+                                                 int height, int width, int kernel,
+                                                 int stride,
+                                                 std::vector<double> weights,
+                                                 std::vector<double> bias) {
+  sp::check(in_channels >= 1 && out_channels >= 1 && height >= 1 && width >= 1,
+            "FhePipeline: conv needs positive dimensions");
+  sp::check(kernel >= 1 && kernel <= height && kernel <= width,
+            "FhePipeline: conv kernel must fit the image");
+  sp::check(stride >= 1, "FhePipeline: conv stride must be >= 1");
+  sp::check(weights.size() == static_cast<std::size_t>(out_channels) * in_channels *
+                                  kernel * kernel,
+            "FhePipeline: conv weights must be [out][in][k][k]");
+  sp::check(bias.empty() || bias.size() == static_cast<std::size_t>(out_channels),
+            "FhePipeline: conv bias must be empty or one value per output channel");
+  std::ostringstream os;
+  os << "conv[" << in_channels << "->" << out_channels << " k" << kernel;
+  if (stride > 1) os << "/s" << stride;
+  os << " " << height << "x" << width << (bias.empty() ? "]" : " +b]");
+  stages_.push_back(Stage{ConvStage{in_channels, out_channels, height, width,
+                                    kernel, stride, std::move(weights),
+                                    std::move(bias)},
+                          os.str()});
+  return *this;
+}
+
+FhePipeline::Builder& FhePipeline::Builder::input_grid(GridShape shape) {
+  sp::check(shape.channels >= 1 && shape.height >= 1 && shape.width >= 1,
+            "FhePipeline: input grid needs positive dimensions");
+  input_grid_ = shape;
+  return *this;
+}
+
 FhePipeline::Builder& FhePipeline::Builder::input_width(std::size_t width) {
   input_width_ = width;
   return *this;
@@ -174,10 +335,13 @@ FhePipeline::Builder& FhePipeline::Builder::rescale_policy(RescalePolicy policy)
 
 FhePipeline FhePipeline::Builder::build() {
   sp::check(!stages_.empty(), "FhePipeline: empty pipeline");
+  sp::check(input_grid_.channels == 0 || input_width_ == 0,
+            "FhePipeline: input_grid and input_width are mutually exclusive");
   FhePipeline pipe;
   pipe.stages_ = std::move(stages_);
   pipe.policy_ = policy_;
   pipe.input_width_ = input_width_;
+  pipe.input_grid_ = input_grid_;
   return pipe;
 }
 
@@ -185,9 +349,50 @@ FhePipeline FhePipeline::Builder::build() {
 
 namespace {
 
-void lower_layer(const nn::Layer& layer, FhePipeline::Builder& b) {
+/// Mutable [C, H, W] image shape threaded through the grid lowering;
+/// channels == 0 once a Flatten (or a dense-input lower()) leaves the
+/// pipeline in vector-land.
+void lower_layer(const nn::Layer& layer, FhePipeline::Builder& b, GridShape* grid) {
   if (const auto* seq = dynamic_cast<const nn::Sequential*>(&layer)) {
-    for (std::size_t i = 0; i < seq->size(); ++i) lower_layer(seq->at(i), b);
+    for (std::size_t i = 0; i < seq->size(); ++i) lower_layer(seq->at(i), b, grid);
+    return;
+  }
+  if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&layer)) {
+    sp::check(grid != nullptr && grid->channels > 0,
+              "FhePipeline::lower: Conv2d '" + layer.name() +
+                  "' needs a channel grid; lower(model, GridShape) declares "
+                  "the input image");
+    sp::check_fmt(conv->pad() == 0, "FhePipeline::lower: Conv2d '", layer.name(),
+                  "' uses pad ", conv->pad(),
+                  "; only valid (pad = 0) convolutions lower");
+    sp::check_fmt(conv->in_channels() == grid->channels,
+                  "FhePipeline::lower: Conv2d '", layer.name(), "' expects ",
+                  conv->in_channels(), " input channels but the grid carries ",
+                  grid->channels);
+    b.conv(grid->channels, conv->out_channels(), grid->height, grid->width,
+           conv->kernel(), conv->stride(), conv->weight_values(),
+           conv->bias_values());
+    grid->channels = conv->out_channels();
+    grid->height = (grid->height - conv->kernel()) / conv->stride() + 1;
+    grid->width = (grid->width - conv->kernel()) / conv->stride() + 1;
+    return;
+  }
+  if (const auto* pool = dynamic_cast<const nn::AvgPool2d*>(&layer)) {
+    sp::check(grid != nullptr && grid->channels > 0,
+              "FhePipeline::lower: AvgPool2d '" + layer.name() +
+                  "' needs a channel grid; lower(model, GridShape) declares "
+                  "the input image");
+    // Average pooling is linear: a depthwise conv whose every kernel tap is
+    // 1/k^2, at stride k — one ConvStage, one level, no repacking.
+    const int c = grid->channels, k = pool->kernel();
+    std::vector<double> w(static_cast<std::size_t>(c) * c * k * k, 0.0);
+    for (int ch = 0; ch < c; ++ch)
+      for (int t = 0; t < k * k; ++t)
+        w[(static_cast<std::size_t>(ch) * c + ch) * k * k + t] =
+            1.0 / static_cast<double>(k * k);
+    b.conv(c, c, grid->height, grid->width, k, pool->stride(), std::move(w));
+    grid->height = (grid->height - k) / pool->stride() + 1;
+    grid->width = (grid->width - k) / pool->stride() + 1;
     return;
   }
   if (const auto* win = dynamic_cast<const nn::Window1d*>(&layer)) {
@@ -227,17 +432,22 @@ void lower_layer(const nn::Layer& layer, FhePipeline::Builder& b) {
     throw sp::Error("FhePipeline::lower: PAF layer '" + layer.name() +
                     "' is not slot-aligned (2-D PafMaxPool; use MaxPool1d sites)");
   }
-  if (dynamic_cast<const nn::Flatten*>(&layer) != nullptr ||
-      dynamic_cast<const nn::Dropout*>(&layer) != nullptr) {
-    // Slot identities at inference time.
+  if (dynamic_cast<const nn::Flatten*>(&layer) != nullptr) {
+    // Channel-major flatten is the logical ordering the next MatMulStage
+    // scatters over — a slot identity; the grid just becomes a vector.
+    if (grid != nullptr) grid->channels = 0;
+    return;
+  }
+  if (dynamic_cast<const nn::Dropout*>(&layer) != nullptr) {
+    // Slot identity at inference time.
     return;
   }
   if (layer.is_nonpoly())
     throw sp::Error("FhePipeline::lower: non-polynomial site '" + layer.name() +
                     "' was not replaced; run smartpaf::replace_all first");
   throw sp::Error("FhePipeline::lower: unsupported layer '" + layer.name() +
-                  "' (supported: Sequential, Window1d, Linear, PafActivation, "
-                  "PafMaxPool1d, Flatten, Dropout)");
+                  "' (supported: Sequential, Conv2d, AvgPool2d, Window1d, "
+                  "Linear, PafActivation, PafMaxPool1d, Flatten, Dropout)");
 }
 
 }  // namespace
@@ -245,12 +455,24 @@ void lower_layer(const nn::Layer& layer, FhePipeline::Builder& b) {
 FhePipeline FhePipeline::lower(const nn::Layer& root, std::size_t input_width) {
   Builder b = builder();
   b.input_width(input_width);
-  lower_layer(root, b);
+  lower_layer(root, b, nullptr);
   return b.build();
 }
 
 FhePipeline FhePipeline::lower(const nn::Model& model, std::size_t input_width) {
   return lower(model.root(), input_width);
+}
+
+FhePipeline FhePipeline::lower(const nn::Layer& root, const GridShape& input) {
+  Builder b = builder();
+  b.input_grid(input);
+  GridShape grid = input;
+  lower_layer(root, b, &grid);
+  return b.build();
+}
+
+FhePipeline FhePipeline::lower(const nn::Model& model, const GridShape& input) {
+  return lower(model.root(), input);
 }
 
 // ------------------------------------------------------------------ Queries --
@@ -261,6 +483,7 @@ int stage_levels(const Stage& stage) {
   if (std::get_if<WindowStage>(&stage.op) != nullptr) return 1;
   if (std::get_if<MatMulStage>(&stage.op) != nullptr) return 1;
   if (std::get_if<CompactStage>(&stage.op) != nullptr) return 1;
+  if (std::get_if<ConvStage>(&stage.op) != nullptr) return 1;
   const auto& paf = std::get<PafStage>(stage.op);
   const int per_act = paf.paf.mult_depth() + 2;
   return paf.kind == SiteKind::MaxPool ? (paf.pool_window - 1) * per_act : per_act;
@@ -289,10 +512,15 @@ std::vector<std::pair<std::size_t, std::size_t>> FhePipeline::stage_widths(
   std::vector<std::pair<std::size_t, std::size_t>> widths;
   widths.reserve(stages_.size());
   std::size_t w = input_width_ != 0 ? input_width_ : fallback;
+  if (input_grid_.channels > 0)
+    w = static_cast<std::size_t>(input_grid_.channels) * input_grid_.height *
+        input_grid_.width;
   for (const Stage& st : stages_) {
     const std::size_t w_in = w;
     if (const auto* mm = std::get_if<MatMulStage>(&st.op)) {
       w = static_cast<std::size_t>(mm->rows);
+    } else if (const auto* cv = std::get_if<ConvStage>(&st.op)) {
+      w = static_cast<std::size_t>(cv->out_channels) * cv->out_h() * cv->out_w();
     } else if (const auto* cp = std::get_if<CompactStage>(&st.op)) {
       // Truncating division mirrors a pool that drops a ragged tail; the
       // planner rejects non-dividing widths before anything executes.
@@ -308,6 +536,110 @@ std::size_t FhePipeline::output_width(std::size_t fallback) const {
   return widths.empty() ? fallback : widths.back().second;
 }
 
+std::vector<std::pair<StageLayout, StageLayout>> FhePipeline::stage_layouts(
+    std::size_t extent) const {
+  sp::check(extent > 0, "FhePipeline::stage_layouts: empty slot layout");
+  StageLayout cur;
+  // Dense layouts with an undeclared width resolve to the full extent; the
+  // first MatMul then narrows to its own input dimension (trusting the
+  // caller), mirroring the historical width tracking.
+  bool width_known = true;
+  if (input_grid_.channels > 0) {
+    // Tight initial packing: elements adjacent, rows adjacent, channel
+    // planes adjacent. ch_stride stays fixed through every conv, so the
+    // channel-block structure is invariant across the whole grid portion.
+    cur = StageLayout::grid(input_grid_.channels, input_grid_.height,
+                            input_grid_.width,
+                            input_grid_.height * input_grid_.width,
+                            input_grid_.width, 1, extent);
+  } else {
+    cur = StageLayout::dense(input_width_ != 0 ? input_width_ : extent, extent);
+    width_known = input_width_ != 0;
+  }
+
+  const auto require_single_dense = [&](const Stage& st, const char* why) {
+    sp::check_fmt(cur.kind == StageLayout::Kind::Dense && cur.blocks == 1,
+                  "Planner: '", st.label, "' ", why,
+                  " and requires a single-ciphertext dense layout, got ",
+                  cur.describe());
+  };
+
+  std::vector<std::pair<StageLayout, StageLayout>> out;
+  out.reserve(stages_.size());
+  for (const Stage& st : stages_) {
+    const StageLayout in = cur;
+    if (const auto* lin = std::get_if<LinearStage>(&st.op)) {
+      if (lin->scale.size() > 1 || lin->bias.size() > 1)
+        require_single_dense(st, "applies per-slot coefficients");
+    } else if (std::get_if<WindowStage>(&st.op) != nullptr) {
+      require_single_dense(st, "is cyclic over one ciphertext");
+    } else if (const auto* paf = std::get_if<PafStage>(&st.op)) {
+      // PAF-ReLU is slot-wise and applies to every block of any layout; the
+      // MaxPool tournament's cyclic rotation fan needs one dense ciphertext.
+      if (paf->kind == SiteKind::MaxPool)
+        require_single_dense(st, "is cyclic over one ciphertext");
+    } else if (const auto* cp = std::get_if<CompactStage>(&st.op)) {
+      require_single_dense(st, "re-packs slots cyclically");
+      sp::check_fmt(static_cast<std::size_t>(cp->stride) <= cur.width &&
+                        cur.width % static_cast<std::size_t>(cp->stride) == 0,
+                    "Planner: '", st.label, "' stride ", cp->stride,
+                    " must divide the tracked width ", cur.width);
+      cur = StageLayout::dense(cur.width / static_cast<std::size_t>(cp->stride),
+                               extent);
+      width_known = true;
+    } else if (const auto* mm = std::get_if<MatMulStage>(&st.op)) {
+      if (cur.kind == StageLayout::Kind::Grid) {
+        sp::check_fmt(
+            static_cast<std::size_t>(mm->cols) == cur.width, "Planner: '",
+            st.label, "' expects input width ", mm->cols,
+            " but the channel-packed layout carries ", cur.width, " elements (",
+            cur.channels, "x", cur.height, "x", cur.width_px, " grid)");
+      } else if (width_known) {
+        sp::check_fmt(static_cast<std::size_t>(mm->cols) == cur.width,
+                      "Planner: '", st.label, "' expects input width ", mm->cols,
+                      " but the tracked layout width is ", cur.width);
+      } else {
+        sp::check_fmt(static_cast<std::size_t>(mm->cols) <= extent, "Planner: ",
+                      mm->rows, "x", mm->cols, " matmul exceeds the ", extent,
+                      "-slot layout");
+      }
+      // The product always lands densely in slots [0, rows) of one block —
+      // partial sums over the input blocks join by ciphertext addition.
+      sp::check_fmt(static_cast<std::size_t>(mm->rows) <= extent, "Planner: ",
+                    mm->rows, "x", mm->cols, " matmul exceeds the ", extent,
+                    "-slot layout");
+      cur = StageLayout::dense(static_cast<std::size_t>(mm->rows), extent);
+      width_known = true;
+    } else {
+      const auto& cv = std::get<ConvStage>(st.op);
+      sp::check_fmt(cur.kind == StageLayout::Kind::Grid &&
+                        cur.channels == cv.in_channels && cur.height == cv.height &&
+                        cur.width_px == cv.width,
+                    "Planner: '", st.label, "' expects input grid ",
+                    cv.in_channels, "x", cv.height, "x", cv.width,
+                    " but the tracked layout is ", cur.describe());
+      // Geometry sanity (collision-free strides, kernel fits) — the same
+      // checks ConvChannelFan performs at execution time.
+      fhe::ConvGeom geom;
+      geom.in_channels = cv.in_channels;
+      geom.out_channels = cv.out_channels;
+      geom.height = cv.height;
+      geom.width = cv.width;
+      geom.kernel = cv.kernel;
+      geom.stride = cv.stride;
+      geom.ch_stride = cur.ch_stride;
+      geom.row_stride = cur.row_stride;
+      geom.elem_stride = cur.elem_stride;
+      geom.validate();
+      cur = StageLayout::grid(cv.out_channels, cv.out_h(), cv.out_w(),
+                              cur.ch_stride, cur.row_stride * cv.stride,
+                              cur.elem_stride * cv.stride, extent);
+    }
+    out.emplace_back(in, cur);
+  }
+  return out;
+}
+
 std::vector<double> FhePipeline::reference(const std::vector<double>& slots,
                                            std::size_t pack_stride) const {
   std::vector<double> v = slots;
@@ -316,29 +648,78 @@ std::vector<double> FhePipeline::reference(const std::vector<double>& slots,
   const std::size_t tile = pack_stride != 0 ? pack_stride : w;
   sp::check(tile <= w && w % tile == 0,
             "FhePipeline::reference: pack stride must divide the slot vector");
-  // Logical data width tracked through MatMul/Compact stages (the cyclic
-  // Linear/Window/Paf stages act on the whole slot vector regardless).
-  std::size_t width = input_width_ != 0 ? std::min(input_width_, tile) : tile;
-  for (const Stage& st : stages_) {
+  // Layout tracking (grid strides, logical widths) shared with the Planner;
+  // the mirror covers single-ciphertext layouts — multi-block pipelines are
+  // checked against the nn forward instead (tests/test_conv.cpp).
+  const auto layouts = stage_layouts(tile);
+  for (const auto& [lin_, lout] : layouts)
+    sp::check(lin_.blocks == 1 && lout.blocks == 1,
+              "FhePipeline::reference: multi-ciphertext layouts have no "
+              "single-vector mirror; compare run_blocks against the nn forward");
+  for (std::size_t si = 0; si < stages_.size(); ++si) {
+    const Stage& st = stages_[si];
+    const StageLayout& layout_in = layouts[si].first;
     if (const auto* mm = std::get_if<MatMulStage>(&st.op)) {
-      sp::check(static_cast<std::size_t>(mm->cols) <= tile,
+      // Per-tile product, mirroring run()'s replicated diagonals. A grid
+      // input routes through the same column scatter the executor uses.
+      const MatMulStage* eff = mm;
+      MatMulStage scattered;
+      if (layout_in.kind == StageLayout::Kind::Grid) {
+        scattered = std::move(split_matmul_blocks(*mm, layout_in)[0]);
+        eff = &scattered;
+      }
+      sp::check(static_cast<std::size_t>(eff->cols) <= tile,
                 "FhePipeline::reference: matmul wider than the slot layout");
-      // Per-tile product, mirroring run()'s replicated diagonals.
       std::vector<double> y(w, 0.0);
       for (std::size_t base = 0; base < w; base += tile)
-        for (int i = 0; i < mm->rows; ++i) {
-          double acc = mm->bias.empty() ? 0.0 : mm->bias[static_cast<std::size_t>(i)];
-          for (int c = 0; c < mm->cols; ++c)
-            acc += mm->weights[static_cast<std::size_t>(i) * mm->cols + c] *
+        for (int i = 0; i < eff->rows; ++i) {
+          double acc = eff->bias.empty() ? 0.0 : eff->bias[static_cast<std::size_t>(i)];
+          for (int c = 0; c < eff->cols; ++c)
+            acc += eff->weights[static_cast<std::size_t>(i) * eff->cols + c] *
                    v[base + static_cast<std::size_t>(c)];
           y[base + static_cast<std::size_t>(i)] = acc;
         }
       v = std::move(y);
-      width = static_cast<std::size_t>(mm->rows);
+      continue;
+    }
+    if (const auto* cv = std::get_if<ConvStage>(&st.op)) {
+      // Anchor-position conv on the tracked grid: output (oc, oy, ox) lands
+      // at oc * ch + oy * (row * s) + ox * (elem * s); every other slot of
+      // the fresh vector is exactly zero, like the masked FHE sum.
+      const int ch = layout_in.ch_stride, rs = layout_in.row_stride,
+                es = layout_in.elem_stride;
+      const int oh = cv->out_h(), ow = cv->out_w();
+      std::vector<double> y(w, 0.0);
+      for (std::size_t base = 0; base < w; base += tile)
+        for (int oc = 0; oc < cv->out_channels; ++oc)
+          for (int oy = 0; oy < oh; ++oy)
+            for (int ox = 0; ox < ow; ++ox) {
+              double acc = cv->bias.empty()
+                               ? 0.0
+                               : cv->bias[static_cast<std::size_t>(oc)];
+              for (int ic = 0; ic < cv->in_channels; ++ic)
+                for (int dy = 0; dy < cv->kernel; ++dy)
+                  for (int dx = 0; dx < cv->kernel; ++dx)
+                    acc += cv->weights[((static_cast<std::size_t>(oc) *
+                                             cv->in_channels +
+                                         ic) *
+                                            cv->kernel +
+                                        dy) *
+                                           cv->kernel +
+                                       dx] *
+                           v[base +
+                             static_cast<std::size_t>(
+                                 ic * ch + (oy * cv->stride + dy) * rs +
+                                 (ox * cv->stride + dx) * es)];
+              y[base + static_cast<std::size_t>(oc * ch + oy * rs * cv->stride +
+                                                ox * es * cv->stride)] = acc;
+            }
+      v = std::move(y);
       continue;
     }
     if (const auto* cp = std::get_if<CompactStage>(&st.op)) {
       const auto stride = static_cast<std::size_t>(cp->stride);
+      const std::size_t width = layout_in.width;
       sp::check(stride <= width && width % stride == 0,
                 "FhePipeline::reference: compact stride must divide the width");
       const std::size_t count = width / stride;
@@ -346,7 +727,6 @@ std::vector<double> FhePipeline::reference(const std::vector<double>& slots,
       for (std::size_t base = 0; base < w; base += tile)
         for (std::size_t i = 0; i < count; ++i) y[base + i] = v[base + i * stride];
       v = std::move(y);
-      width = count;
       continue;
     }
     if (const auto* lin = std::get_if<LinearStage>(&st.op)) {
@@ -393,10 +773,24 @@ std::vector<double> FhePipeline::reference(const std::vector<double>& slots,
 fhe::Ciphertext FhePipeline::run(FheRuntime& rt, const Plan& plan,
                                  const fhe::Ciphertext& in,
                                  fhe::EvalStats* stats) const {
+  std::vector<fhe::Ciphertext> out = run_blocks(rt, plan, {in}, stats);
+  sp::check_fmt(out.size() == 1, "FhePipeline::run: the pipeline output spans ",
+                out.size(), " ciphertext blocks; use run_blocks");
+  return std::move(out[0]);
+}
+
+std::vector<fhe::Ciphertext> FhePipeline::run_blocks(
+    FheRuntime& rt, const Plan& plan, const std::vector<fhe::Ciphertext>& in,
+    fhe::EvalStats* stats) const {
   sp::check(plan.stages.size() == stages_.size(),
             "FhePipeline::run: plan does not match this pipeline");
-  sp::check_fmt(in.level() >= plan.levels_used, "FhePipeline::run: input has ",
-                in.level(), " levels but the plan needs ", plan.levels_used);
+  sp::check(!in.empty(), "FhePipeline::run: no input ciphertexts");
+  sp::check_fmt(in.size() == static_cast<std::size_t>(plan.stages.front().layout_in.blocks),
+                "FhePipeline::run: the plan's input layout spans ",
+                plan.stages.front().layout_in.blocks, " ciphertext blocks, got ",
+                in.size());
+  sp::check_fmt(in[0].level() >= plan.levels_used, "FhePipeline::run: input has ",
+                in[0].level(), " levels but the plan needs ", plan.levels_used);
 
   fhe::Evaluator& ev = rt.evaluator();
   fhe::PafEvaluator& pe = rt.paf_evaluator();
@@ -404,7 +798,7 @@ fhe::Ciphertext FhePipeline::run(FheRuntime& rt, const Plan& plan,
   const double delta = rt.ctx().scale();
   PafEvalGuard guard(pe);
 
-  fhe::Ciphertext cur = in;
+  std::vector<fhe::Ciphertext> blocks = in;
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const Stage& st = stages_[i];
     const StagePlan& sp_ = plan.stages[i];
@@ -412,43 +806,96 @@ fhe::Ciphertext FhePipeline::run(FheRuntime& rt, const Plan& plan,
 
     if (const auto* lin = std::get_if<LinearStage>(&st.op)) {
       // A merge pass may have combined a run of adjacent linear stages into
-      // this one; the plan then carries the combined coefficients.
+      // this one; the plan then carries the combined coefficients. Scalar
+      // affine stages apply to every block alike (per-slot coefficient
+      // vectors are single-block by layout validation).
       const LinearStage& eff = sp_.merged_linear ? *sp_.merged_linear : *lin;
-      if (!linear_scale_is_identity(eff)) {
-        // Scalar scales are cheap constant polynomials; per-slot vectors pay
-        // an encode FFT, so those route through the encoder's cache.
-        if (eff.scale.size() == 1) {
-          ev.multiply_plain_inplace(cur,
-                                    enc.encode_scalar(eff.scale[0], delta, cur.q_count()));
-        } else {
-          ev.multiply_plain_inplace(
-              cur, *enc.encode_cached(linear_vec_key(eff.scale, 1), delta,
-                                      cur.q_count(), [&] { return eff.scale; }));
+      for (fhe::Ciphertext& cur : blocks) {
+        if (!linear_scale_is_identity(eff)) {
+          // Scalar scales are cheap constant polynomials; per-slot vectors pay
+          // an encode FFT, so those route through the encoder's cache.
+          if (eff.scale.size() == 1) {
+            ev.multiply_plain_inplace(
+                cur, enc.encode_scalar(eff.scale[0], delta, cur.q_count()));
+          } else {
+            ev.multiply_plain_inplace(
+                cur, *enc.encode_cached(linear_vec_key(eff.scale, 1), delta,
+                                        cur.q_count(), [&] { return eff.scale; }));
+          }
+          ev.rescale_inplace(cur);
         }
-        ev.rescale_inplace(cur);
-      }
-      if (linear_has_bias(eff)) {
-        if (eff.bias.size() == 1) {
-          ev.add_plain_inplace(cur,
-                               enc.encode_scalar(eff.bias[0], cur.scale, cur.q_count()));
-        } else {
-          ev.add_plain_inplace(
-              cur, *enc.encode_cached(linear_vec_key(eff.bias, 2), cur.scale,
-                                      cur.q_count(), [&] { return eff.bias; }));
+        if (linear_has_bias(eff)) {
+          if (eff.bias.size() == 1) {
+            ev.add_plain_inplace(
+                cur, enc.encode_scalar(eff.bias[0], cur.scale, cur.q_count()));
+          } else {
+            ev.add_plain_inplace(
+                cur, *enc.encode_cached(linear_vec_key(eff.bias, 2), cur.scale,
+                                        cur.q_count(), [&] { return eff.bias; }));
+          }
         }
       }
       continue;
     }
 
     if (const auto* mm = std::get_if<MatMulStage>(&st.op)) {
-      const fhe::DiagonalMatVec mv(enc, mm->weights, mm->rows, mm->cols, mm->bias,
-                                   sp_.bsgs_n1 > 0 ? sp_.bsgs_n1 : 1,
-                                   plan.pack_stride);
       std::vector<int> steps = sp_.rotation_steps;
       steps.insert(steps.end(), sp_.giant_steps.begin(), sp_.giant_steps.end());
-      cur = mv.apply(ev, cur, *rt.rotation_keys(steps), sp_.hoist_fan, delta);
+      const auto gk = rt.rotation_keys(steps);
+      const int n1 = sp_.bsgs_n1 > 0 ? sp_.bsgs_n1 : 1;
+      if (sp_.layout_in.kind == StageLayout::Kind::Dense &&
+          sp_.layout_in.blocks == 1) {
+        const fhe::DiagonalMatVec mv(enc, mm->weights, mm->rows, mm->cols,
+                                     mm->bias, n1, plan.pack_stride);
+        blocks = {mv.apply(ev, blocks[0], *gk, sp_.hoist_fan, delta)};
+      } else {
+        // Column-split product: one scattered diagonal matmul per input
+        // block, partial sums joined by ciphertext addition (every block
+        // rescales once, so the summands share level and scale).
+        const std::vector<MatMulStage> split =
+            split_matmul_blocks(*mm, sp_.layout_in);
+        fhe::Ciphertext acc;
+        for (std::size_t b = 0; b < split.size(); ++b) {
+          const MatMulStage& mb = split[b];
+          const fhe::DiagonalMatVec mv(enc, mb.weights, mb.rows, mb.cols,
+                                       mb.bias, n1, plan.pack_stride);
+          fhe::Ciphertext y = mv.apply(ev, blocks[b], *gk, sp_.hoist_fan, delta);
+          if (b == 0) {
+            acc = std::move(y);
+          } else {
+            ev.add_inplace(acc, y);
+          }
+        }
+        blocks = {std::move(acc)};
+      }
       continue;
     }
+
+    if (const auto* cv = std::get_if<ConvStage>(&st.op)) {
+      fhe::ConvGeom geom;
+      geom.in_channels = cv->in_channels;
+      geom.out_channels = cv->out_channels;
+      geom.height = cv->height;
+      geom.width = cv->width;
+      geom.kernel = cv->kernel;
+      geom.stride = cv->stride;
+      geom.ch_stride = sp_.layout_in.ch_stride;
+      geom.row_stride = sp_.layout_in.row_stride;
+      geom.elem_stride = sp_.layout_in.elem_stride;
+      const fhe::ConvChannelFan fan(enc, cv->weights, cv->bias, geom,
+                                    sp_.conv_n1 > 0 ? sp_.conv_n1 : 0,
+                                    plan.pack_stride, sp_.layout_in.chans_per_block);
+      std::vector<int> steps = sp_.rotation_steps;
+      steps.insert(steps.end(), sp_.giant_steps.begin(), sp_.giant_steps.end());
+      blocks = fan.apply(ev, blocks, *rt.rotation_keys(steps), sp_.hoist_fan, delta);
+      continue;
+    }
+
+    // The remaining stage kinds are cyclic over one ciphertext (compact,
+    // window, PAF-max) or apply independently per block (PAF-ReLU); the
+    // planner's layout validation guarantees blocks.size() == 1 for the
+    // cyclic kinds.
+    fhe::Ciphertext& cur = blocks[0];
 
     if (const auto* cp = std::get_if<CompactStage>(&st.op)) {
       // Masked selection fan: output slot i takes x[i * stride], i.e. the
@@ -512,8 +959,11 @@ fhe::Ciphertext FhePipeline::run(FheRuntime& rt, const Plan& plan,
     pe.set_strategy(sp_.strategy);
     pe.set_lazy_relin(sp_.lazy_relin);
     if (paf.kind == SiteKind::ReLU) {
-      cur = pe.relu(ev, cur, paf.paf, paf.input_scale, stats, nullptr, nullptr,
-                    sp_.pre_factor);
+      // Slot-wise, so every block passes through the same envelope (the
+      // zero padding slots of partial blocks stay zero: relu(0) == 0).
+      for (fhe::Ciphertext& blk : blocks)
+        blk = pe.relu(ev, blk, paf.paf, paf.input_scale, stats, nullptr,
+                      nullptr, sp_.pre_factor);
     } else {
       // Cyclic pairwise tournament: the fan rotates the STAGE INPUT once
       // (hoisted when the plan says so), then folds PAF-max left to right —
@@ -529,11 +979,11 @@ fhe::Ciphertext FhePipeline::run(FheRuntime& rt, const Plan& plan,
     }
   }
 
-  sp::check_fmt(in.level() - cur.level() == plan.levels_used,
+  sp::check_fmt(in[0].level() - blocks[0].level() == plan.levels_used,
                 "FhePipeline::run: executed pipeline consumed ",
-                in.level() - cur.level(), " levels but the plan predicted ",
+                in[0].level() - blocks[0].level(), " levels but the plan predicted ",
                 plan.levels_used);
-  return cur;
+  return blocks;
 }
 
 }  // namespace sp::smartpaf

@@ -59,6 +59,95 @@ struct MatMulStage {
   std::vector<double> bias;     ///< empty, or one value per output row
 };
 
+/// Channel-packed 2-D convolution stage (valid mode, pad = 0). The input is
+/// a [in_channels, height, width] image laid out on the grid slot layout the
+/// pipeline tracks per stage (see StageLayout): element (c, y, x) lives at
+/// slot c * ch_stride + y * row_stride + x * elem_stride, split across
+/// ciphertext "column blocks" of chans_per_block channels when the image is
+/// wider than the slot extent. Executed as fhe::ConvChannelFan — an
+/// im2col-style rotation fan (or a BSGS split over the channel offset, the
+/// planner's fan-vs-diagonal choice) with one cached weight mask per term,
+/// partial-sum joins across input blocks and one rescale per output block —
+/// so the stage consumes one level. Outputs land at the anchor positions of
+/// the SAME grid (spatial strides scale by `stride`), which is what lets
+/// conv -> pool -> conv chains compose with zero repacking. This is what
+/// nn::Conv2d (and nn::AvgPool2d, as a depthwise conv) lowers to.
+struct ConvStage {
+  int in_channels = 0;
+  int out_channels = 0;
+  int height = 0;  ///< input grid rows
+  int width = 0;   ///< input grid columns
+  int kernel = 1;  ///< square kernel side
+  int stride = 1;  ///< spatial stride (>= 1)
+  std::vector<double> weights;  ///< [out_ch][in_ch][k][k], row-major
+  std::vector<double> bias;     ///< empty, or one value per output channel
+
+  int out_h() const { return (height - kernel) / stride + 1; }
+  int out_w() const { return (width - kernel) / stride + 1; }
+};
+
+/// Logical [channels, height, width] image shape declared for a pipeline
+/// whose input is a channel-packed grid rather than a dense vector.
+struct GridShape {
+  int channels = 0;
+  int height = 0;
+  int width = 0;
+};
+
+/// Per-stage slot-layout metadata the pipeline threads through its stage
+/// graph: what the data looks like inside the ciphertext(s) entering and
+/// leaving each stage.
+///
+/// Dense: `width` logical elements packed contiguously from slot 0; widths
+/// beyond the slot extent split into `blocks` ciphertexts of `block_width`
+/// elements each (the last block ragged), joined by partial sums at the next
+/// MatMul. Grid: a [channels, height, width_px] image at strides
+/// (ch_stride, row_stride, elem_stride), `chans_per_block` channel planes
+/// per ciphertext block. Grid strides grow through strided ConvStages while
+/// ch_stride stays fixed, so the block structure is invariant across a conv
+/// chain.
+struct StageLayout {
+  enum class Kind { Dense, Grid };
+  Kind kind = Kind::Dense;
+  std::size_t width = 0;        ///< logical element count (both kinds)
+  int blocks = 1;               ///< ciphertexts carrying the data
+  std::size_t block_width = 0;  ///< Dense: elements per (full) block
+  // Grid only:
+  int channels = 0;
+  int height = 0;
+  int width_px = 0;
+  int ch_stride = 0;
+  int row_stride = 0;
+  int elem_stride = 1;
+  int chans_per_block = 0;
+
+  /// @brief Dense layout of `width` elements over `extent`-slot blocks.
+  static StageLayout dense(std::size_t width, std::size_t extent);
+  /// @brief Grid layout; chans_per_block derives from extent / ch_stride.
+  static StageLayout grid(int channels, int height, int width_px, int ch_stride,
+                          int row_stride, int elem_stride, std::size_t extent);
+  /// @brief Compact human-readable form, e.g. "dense w576" or
+  /// "grid 4x12x12 s(144,12,1) x2ct" — what Plan::describe() prints.
+  std::string describe() const;
+};
+
+/// @brief (block, slot) position of logical element `i` under `layout`
+/// (grid layouts index channel-major: i = c * h * w + y * w + x, matching
+/// nn::Flatten).
+std::pair<int, std::size_t> layout_slot(const StageLayout& layout, std::size_t i);
+
+/// @brief Scatters `values` (logical order, size <= layout.width) into
+/// layout.blocks slot vectors of `slots` entries each — what a client packs
+/// before encrypting the input blocks of run_blocks().
+std::vector<std::vector<double>> pack_layout(const std::vector<double>& values,
+                                             const StageLayout& layout,
+                                             std::size_t slots);
+
+/// @brief Inverse of pack_layout: gathers the layout's logical elements back
+/// out of decoded block slot vectors.
+std::vector<double> unpack_layout(const std::vector<std::vector<double>>& blocks,
+                                  const StageLayout& layout);
+
 /// Slot-compaction stage after a strided pooling: keeps every `stride`-th
 /// slot of the tracked input width W, re-packed densely —
 /// y[i] = x[i * stride] for i < W / stride, zero elsewhere — so downstream
@@ -86,7 +175,9 @@ struct PafStage {
 
 /// One pipeline stage (tagged union) plus its display label.
 struct Stage {
-  std::variant<LinearStage, WindowStage, PafStage, MatMulStage, CompactStage> op;
+  std::variant<LinearStage, WindowStage, PafStage, MatMulStage, CompactStage,
+               ConvStage>
+      op;
   std::string label;
 };
 
@@ -117,6 +208,14 @@ class FhePipeline {
                     std::vector<double> bias = {});
     /// @brief Strided-pooling slot compaction (keep every stride-th slot).
     Builder& compact(int stride);
+    /// @brief Channel-packed 2-D convolution over an [in_channels, height,
+    /// width] grid (valid mode; weights [out_ch][in_ch][k][k] row-major).
+    Builder& conv(int in_channels, int out_channels, int height, int width,
+                  int kernel, int stride, std::vector<double> weights,
+                  std::vector<double> bias = {});
+    /// @brief Declares the pipeline input as a channel-packed image grid
+    /// (required before any ConvStage; mutually exclusive with input_width).
+    Builder& input_grid(GridShape shape);
     /// @brief Declares the logical data width of the pipeline input (how
     /// many leading slots carry values). 0 (default) = the full slot vector;
     /// required for CompactStage counts and MatMul width validation when the
@@ -135,6 +234,7 @@ class FhePipeline {
     std::vector<Stage> stages_;
     RescalePolicy policy_ = RescalePolicy::FoldScalars;
     std::size_t input_width_ = 0;
+    GridShape input_grid_;
   };
 
   /// @brief Starts a fluent build.
@@ -165,10 +265,22 @@ class FhePipeline {
   /// @brief Same, from a bare root layer.
   static FhePipeline lower(const nn::Layer& root, std::size_t input_width = 0);
 
+  /// @brief Lowers a CNN whose input is a [channels, height, width] image:
+  /// nn::Conv2d (pad = 0) lowers to ConvStage, nn::AvgPool2d to a depthwise
+  /// ConvStage, nn::Flatten to the channel-major logical ordering the next
+  /// MatMulStage scatters over — plus every dense-path layer lower() already
+  /// supports.
+  static FhePipeline lower(const nn::Model& model, const GridShape& input);
+  /// @brief Same, from a bare root layer.
+  static FhePipeline lower(const nn::Layer& root, const GridShape& input);
+
   const std::vector<Stage>& stages() const { return stages_; }
   RescalePolicy rescale_policy() const { return policy_; }
   /// @brief Declared logical width of the input data (0 = full slot vector).
   std::size_t input_width() const { return input_width_; }
+  /// @brief Declared input image grid (channels == 0 when the input is a
+  /// dense vector).
+  const GridShape& input_grid() const { return input_grid_; }
 
   /// @brief Per-stage (width_in, width_out) slot-layout tracking: linear,
   /// window and PAF stages preserve the width, MatMul maps cols -> rows and
@@ -176,6 +288,17 @@ class FhePipeline {
   /// the slot count, or the packing stride for packed layouts).
   std::vector<std::pair<std::size_t, std::size_t>> stage_widths(
       std::size_t fallback) const;
+
+  /// @brief Per-stage (layout_in, layout_out) tracking over an `extent`-slot
+  /// ciphertext layout (the slot count, or the pack stride for packed
+  /// batches): resolves grid strides and ciphertext block counts, and
+  /// rejects every stage/layout mismatch with a diagnostic — conv on a
+  /// non-grid or wrong-shape layout, matmul width or channel-layout
+  /// mismatches, cyclic stages (window/maxpool/compact/per-slot linear) on
+  /// multi-ciphertext or grid layouts. The Planner calls this before
+  /// anything executes; tests pin the messages.
+  std::vector<std::pair<StageLayout, StageLayout>> stage_layouts(
+      std::size_t extent) const;
 
   /// @brief Width of the pipeline output given the resolved input width —
   /// what BatchRunner sizes its per-request output slices with.
@@ -208,10 +331,20 @@ class FhePipeline {
   fhe::Ciphertext run(FheRuntime& rt, const Plan& plan, const fhe::Ciphertext& in,
                       fhe::EvalStats* stats = nullptr) const;
 
+  /// @brief Multi-ciphertext run(): executes a planned pipeline over the
+  /// input's column blocks (plan.stages.front().layout_in.blocks ciphertexts
+  /// packed via pack_layout) and returns the output blocks. Partial sums
+  /// join inside MatMul/Conv stages; every other stage applies per block.
+  /// run() is the single-block convenience wrapper.
+  std::vector<fhe::Ciphertext> run_blocks(FheRuntime& rt, const Plan& plan,
+                                          const std::vector<fhe::Ciphertext>& in,
+                                          fhe::EvalStats* stats = nullptr) const;
+
  private:
   std::vector<Stage> stages_;
   RescalePolicy policy_ = RescalePolicy::FoldScalars;
   std::size_t input_width_ = 0;
+  GridShape input_grid_;
 };
 
 /// @brief True when the linear stage's scale is identically 1 (bias-only
@@ -224,9 +357,19 @@ bool linear_has_bias(const LinearStage& lin);
 
 /// @brief Levels `stage` consumes when executed literally (no folding):
 /// linear 1 (0 when the scale is identically 1), window 1, matmul 1,
-/// compact 1, PAF-ReLU depth + 2, PAF-MaxPool
+/// compact 1, conv 1, PAF-ReLU depth + 2, PAF-MaxPool
 /// (pool_window - 1) * (depth + 2).
 int stage_levels(const Stage& stage);
+
+/// @brief Scatters a MatMulStage's columns into one dense (rows x
+/// block-extent) matrix per input block of `in` — column j of the logical
+/// matrix lands at layout_slot(in, j), zero columns fill the layout's gap
+/// slots — so y = sum_b W_b x_b reproduces W x by partial-sum joins. The
+/// bias rides block 0 only. Shared by the Planner (schedule costing),
+/// run_blocks (execution) and reference() (the plaintext mirror), so the
+/// three can never disagree on the split.
+std::vector<MatMulStage> split_matmul_blocks(const MatMulStage& mm,
+                                             const StageLayout& in);
 
 /// @brief Slot-rotation steps the stage's fan needs (1..k-1 for window and
 /// MaxPool stages; empty otherwise — MatMul and Compact fans depend on the

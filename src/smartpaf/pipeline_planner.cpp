@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/timer.h"
+#include "fhe/conv2d_fan.h"
 #include "fhe/diag_matvec.h"
 #include "smartpaf/fhe_deploy.h"
 
@@ -191,7 +192,16 @@ std::string Plan::describe() const {
       continue;
     }
     os << "L" << s.level_in << "->L" << s.level_out;
-    if (s.width_in != s.width_out) os << "  w" << s.width_in << "->" << s.width_out;
+    const bool structured = s.layout_in.kind == StageLayout::Kind::Grid ||
+                            s.layout_out.kind == StageLayout::Kind::Grid ||
+                            s.layout_in.blocks > 1 || s.layout_out.blocks > 1;
+    if (structured) {
+      os << "  " << s.layout_in.describe();
+      if (s.layout_out.describe() != s.layout_in.describe())
+        os << " -> " << s.layout_out.describe();
+    } else if (s.width_in != s.width_out) {
+      os << "  w" << s.width_in << "->" << s.width_out;
+    }
     if (!s.rotation_steps.empty()) {
       if (s.rotation_steps.size() <= 8) {
         os << "  fan{";
@@ -206,6 +216,12 @@ std::string Plan::describe() const {
     if (s.bsgs_n1 > 0) {
       os << "  bsgs n1=" << s.bsgs_n1 << " giants=" << s.giant_steps.size()
          << " diags=" << s.diag_mults;
+    }
+    if (s.conv_n1 == 0) {
+      os << "  conv fan masks=" << s.diag_mults;
+    } else if (s.conv_n1 > 0) {
+      os << "  conv bsgs n1=" << s.conv_n1 << " giants=" << s.giant_steps.size()
+         << " masks=" << s.diag_mults;
     }
     if (s.merged_linear) os << "  (executes a merged linear run)";
     if (s.ops.ct_mults > 0) {
@@ -270,59 +286,43 @@ Plan Planner::plan(const FhePipeline& pipe, const fhe::CkksContext& ctx,
   const std::size_t extent = opts.pack_stride != 0 ? opts.pack_stride : slots;
   sp::check_fmt(extent <= slots && slots % extent == 0, "Planner: pack stride ",
                 extent, " must divide the ", slots, " slots");
-  sp::check_fmt(pipe.input_width() <= extent, "Planner: input width ",
-                pipe.input_width(), " exceeds the ", extent, "-slot layout");
+  if (opts.pack_stride != 0)
+    sp::check_fmt(pipe.input_width() <= extent, "Planner: input width ",
+                  pipe.input_width(), " exceeds the ", extent, "-slot layout");
 
-  // Slot-layout widths threaded through the graph, plus shape validation
-  // against the parameter set. An undeclared input width resolves to the
-  // layout extent; a MatMul encountered before any width-changing stage
-  // then narrows it to its own input dimension (trusting the caller).
-  bool width_known = pipe.input_width() != 0;
-  std::vector<std::pair<std::size_t, std::size_t>> widths(stages.size());
-  {
-    std::size_t w = pipe.input_width() != 0 ? pipe.input_width() : extent;
-    for (std::size_t i = 0; i < stages.size(); ++i) {
-      const Stage& st = stages[i];
-      if (const auto* lin = std::get_if<LinearStage>(&st.op)) {
-        sp::check_fmt(lin->scale.size() == 1 || lin->scale.size() == slots,
-                      "Planner: linear scale must have 1 or ", slots,
-                      " entries, got ", lin->scale.size());
-        sp::check_fmt(lin->bias.empty() || lin->bias.size() == 1 ||
-                          lin->bias.size() == slots,
-                      "Planner: linear bias must have 0, 1 or ", slots,
-                      " entries, got ", lin->bias.size());
-      } else if (const auto* win = std::get_if<WindowStage>(&st.op)) {
-        sp::check_fmt(win->taps.size() <= slots, "Planner: window of ",
-                      win->taps.size(), " taps exceeds the ", slots, " slots");
-      } else if (const auto* mm = std::get_if<MatMulStage>(&st.op)) {
-        sp::check_fmt(static_cast<std::size_t>(mm->rows) <= extent &&
-                          static_cast<std::size_t>(mm->cols) <= extent,
-                      "Planner: ", mm->rows, "x", mm->cols,
-                      " matmul exceeds the ", extent, "-slot layout");
-        if (width_known)
-          sp::check_fmt(static_cast<std::size_t>(mm->cols) == w, "Planner: '",
-                        st.label, "' expects input width ", mm->cols,
-                        " but the tracked layout width is ", w);
-        w = static_cast<std::size_t>(mm->rows);
-        width_known = true;
-      } else if (const auto* cp = std::get_if<CompactStage>(&st.op)) {
-        sp::check_fmt(static_cast<std::size_t>(cp->stride) <= w &&
-                          w % static_cast<std::size_t>(cp->stride) == 0,
-                      "Planner: '", st.label, "' stride ", cp->stride,
-                      " must divide the tracked width ", w);
-        w /= static_cast<std::size_t>(cp->stride);
-        width_known = true;
-      } else {
-        const auto& paf = std::get<PafStage>(st.op);
-        if (paf.kind == SiteKind::MaxPool)
-          sp::check_fmt(static_cast<std::size_t>(paf.pool_window) <= slots,
-                        "Planner: pool window ", paf.pool_window, " exceeds the ",
-                        slots, " slots");
-      }
-      widths[i] = {i == 0 ? (pipe.input_width() != 0 ? pipe.input_width() : extent)
-                          : widths[i - 1].second,
-                   w};
+  // Slot layouts threaded through the graph (grid strides, channel blocking,
+  // multi-ciphertext column splits) with all the width/layout compatibility
+  // checks; the per-parameter-set checks stay here.
+  const std::vector<std::pair<StageLayout, StageLayout>> layouts =
+      pipe.stage_layouts(extent);
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const Stage& st = stages[i];
+    if (const auto* lin = std::get_if<LinearStage>(&st.op)) {
+      sp::check_fmt(lin->scale.size() == 1 || lin->scale.size() == slots,
+                    "Planner: linear scale must have 1 or ", slots,
+                    " entries, got ", lin->scale.size());
+      sp::check_fmt(lin->bias.empty() || lin->bias.size() == 1 ||
+                        lin->bias.size() == slots,
+                    "Planner: linear bias must have 0, 1 or ", slots,
+                    " entries, got ", lin->bias.size());
+    } else if (const auto* win = std::get_if<WindowStage>(&st.op)) {
+      sp::check_fmt(win->taps.size() <= slots, "Planner: window of ",
+                    win->taps.size(), " taps exceeds the ", slots, " slots");
+    } else if (const auto* paf = std::get_if<PafStage>(&st.op)) {
+      if (paf->kind == SiteKind::MaxPool)
+        sp::check_fmt(static_cast<std::size_t>(paf->pool_window) <= slots,
+                      "Planner: pool window ", paf->pool_window, " exceeds the ",
+                      slots, " slots");
     }
+    // Packed batches replicate one layout per tile; a request spanning
+    // several ciphertexts cannot tile, so multi-block layouts are
+    // single-layout (pack_stride == 0) territory.
+    if (opts.pack_stride != 0)
+      sp::check_fmt(layouts[i].first.blocks == 1 && layouts[i].second.blocks == 1,
+                    "Planner: '", st.label, "' spans ",
+                    std::max(layouts[i].first.blocks, layouts[i].second.blocks),
+                    " ciphertext blocks; packed batches need single-ciphertext"
+                    " layouts");
   }
 
   Plan plan;
@@ -398,8 +398,10 @@ Plan Planner::plan(const FhePipeline& pipe, const fhe::CkksContext& ctx,
     sp_.label = st.label;
     sp_.level_in = level;
     sp_.lazy_relin = opts.lazy_relin;
-    sp_.width_in = widths[i].first;
-    sp_.width_out = widths[i].second;
+    sp_.layout_in = layouts[i].first;
+    sp_.layout_out = layouts[i].second;
+    sp_.width_in = sp_.layout_in.width;
+    sp_.width_out = sp_.layout_out.width;
     if (absorbed[i]) {
       sp_.folded = true;
       sp_.merged_into_next = true;
@@ -428,14 +430,30 @@ Plan Planner::plan(const FhePipeline& pipe, const fhe::CkksContext& ctx,
       }
       sp_.predicted_cost = cost.eval_cost(sp_.ops);
     } else if (const auto* mm = std::get_if<MatMulStage>(&st.op)) {
+      // Column-split view: a grid or multi-ciphertext input scatters the
+      // matrix columns into one dense matrix per input block (the same
+      // split run_blocks and reference() use, so the three cannot
+      // disagree); a single-block dense input is the identity split.
+      std::vector<MatMulStage> split;
+      if (sp_.layout_in.kind == StageLayout::Kind::Dense &&
+          sp_.layout_in.blocks == 1) {
+        split.push_back(*mm);
+      } else {
+        split = split_matmul_blocks(*mm, sp_.layout_in);
+      }
       // BSGS split selection: pick the baby block size n1 minimizing the
       // cost of (hoistable baby fan) + (naive giant rotations) + (one
-      // plaintext mult per nonzero extended diagonal) under the table. n1=1
-      // is the naive per-diagonal rotation loop; the sweep caps near
-      // 2 sqrt(span), past which giants stop shrinking.
-      const std::vector<int> dsteps =
-          fhe::DiagMatVecPlan::nonzero_steps(mm->weights, mm->rows, mm->cols);
-      const int span = mm->rows + mm->cols - 1;
+      // plaintext mult per nonzero extended diagonal) under the table,
+      // summed across column blocks. n1=1 is the naive per-diagonal
+      // rotation loop; the sweep caps near 2 sqrt(span), past which giants
+      // stop shrinking.
+      std::vector<std::vector<int>> dsteps;
+      int span = 1;
+      for (const MatMulStage& mb : split) {
+        dsteps.push_back(
+            fhe::DiagMatVecPlan::nonzero_steps(mb.weights, mb.rows, mb.cols));
+        span = std::max(span, mb.rows + mb.cols - 1);
+      }
       std::vector<int> candidates;
       if (opts.force_matmul_n1) {
         sp::check(*opts.force_matmul_n1 >= 1, "Planner: force_matmul_n1 must be >= 1");
@@ -447,26 +465,134 @@ Plan Planner::plan(const FhePipeline& pipe, const fhe::CkksContext& ctx,
       }
       bool first = true;
       for (const int n1 : candidates) {
-        const fhe::DiagMatVecPlan dplan =
-            fhe::DiagMatVecPlan::group(dsteps, mm->rows, mm->cols, n1);
-        const int babies = static_cast<int>(dplan.baby_steps.size());
-        const bool hoist =
-            babies > 0 &&
-            opts.force_hoist.value_or(cost.fan_cost(babies, true) <=
-                                      cost.fan_cost(babies, false));
+        std::set<int> babies_u, giants_u;
+        int diags = 0;
+        int plain = 0;
+        double rot_cost = 0.0;
+        bool hoist = false;
+        for (std::size_t b = 0; b < split.size(); ++b) {
+          const fhe::DiagMatVecPlan dplan = fhe::DiagMatVecPlan::group(
+              dsteps[b], split[b].rows, split[b].cols, n1);
+          const int babies = static_cast<int>(dplan.baby_steps.size());
+          const bool h =
+              babies > 0 &&
+              opts.force_hoist.value_or(cost.fan_cost(babies, true) <=
+                                        cost.fan_cost(babies, false));
+          hoist = hoist || h;
+          rot_cost += cost.fan_cost(babies, h) +
+                      static_cast<double>(dplan.giant_steps.size()) * cost.rotate_ms;
+          // An all-zero block still pays one mask multiply for the schedule
+          // shape (see DiagonalMatVec::apply).
+          plain += std::max(1, dplan.nonzero_diagonals);
+          diags += dplan.nonzero_diagonals;
+          babies_u.insert(dplan.baby_steps.begin(), dplan.baby_steps.end());
+          giants_u.insert(dplan.giant_steps.begin(), dplan.giant_steps.end());
+        }
         fhe::SchedulePrediction ops;
-        // An all-zero matrix still pays one mask multiply for the schedule
-        // shape (see DiagonalMatVec::apply).
-        ops.plain_mults = std::max(1, dplan.nonzero_diagonals);
-        ops.rescales = 1;
+        ops.plain_mults = plain;
+        ops.rescales = static_cast<int>(split.size());
         ops.levels = 1;
-        const double c = cost.eval_cost(ops) + cost.fan_cost(babies, hoist) +
-                         static_cast<double>(dplan.giant_steps.size()) * cost.rotate_ms;
+        const double c = cost.eval_cost(ops) + rot_cost;
         if (first || c < sp_.predicted_cost) {
           sp_.bsgs_n1 = n1;
-          sp_.rotation_steps = dplan.baby_steps;
-          sp_.giant_steps = dplan.giant_steps;
-          sp_.diag_mults = dplan.nonzero_diagonals;
+          sp_.rotation_steps.assign(babies_u.begin(), babies_u.end());
+          sp_.giant_steps.assign(giants_u.begin(), giants_u.end());
+          sp_.diag_mults = diags;
+          sp_.hoist_fan = hoist;
+          sp_.ops = ops;
+          sp_.predicted_cost = c;
+          first = false;
+        }
+      }
+    } else if (const auto* cv = std::get_if<ConvStage>(&st.op)) {
+      // Fan-vs-diagonal choice: n1 == 0 executes the im2col-style rotation
+      // fan (every distinct term shift a hoistable baby rotation); n1 >= 1
+      // runs BSGS over the channel offset, trading encode-time mask
+      // pre-rotations for fewer live rotations. Candidates are priced per
+      // (output, input) block pair and the cheapest wins under the table.
+      const StageLayout& lay = sp_.layout_in;
+      fhe::ConvGeom geom;
+      geom.in_channels = cv->in_channels;
+      geom.out_channels = cv->out_channels;
+      geom.height = cv->height;
+      geom.width = cv->width;
+      geom.kernel = cv->kernel;
+      geom.stride = cv->stride;
+      geom.ch_stride = lay.ch_stride;
+      geom.row_stride = lay.row_stride;
+      geom.elem_stride = lay.elem_stride;
+      const int cpb = lay.chans_per_block;
+      const int blocks_in = lay.blocks;
+      const int blocks_out = sp_.layout_out.blocks;
+      const int span =
+          std::min(cpb, cv->in_channels) + std::min(cpb, cv->out_channels) - 1;
+      std::vector<int> candidates;
+      if (opts.force_conv_n1) {
+        sp::check(*opts.force_conv_n1 >= 0, "Planner: force_conv_n1 must be >= 0");
+        candidates.push_back(*opts.force_conv_n1);
+      } else {
+        candidates.push_back(0);
+        const int n1_max = std::min(
+            span, 2 * static_cast<int>(std::ceil(std::sqrt(static_cast<double>(span)))) + 1);
+        for (int n1 = 1; n1 <= n1_max; ++n1) candidates.push_back(n1);
+      }
+      bool first = true;
+      for (const int n1 : candidates) {
+        // Pair schedules, row-major over (bo, bi) exactly like ConvChannelFan.
+        std::vector<fhe::Conv2dFanPlan> pairs;
+        pairs.reserve(static_cast<std::size_t>(blocks_out * blocks_in));
+        for (int bo = 0; bo < blocks_out; ++bo)
+          for (int bi = 0; bi < blocks_in; ++bi)
+            pairs.push_back(fhe::Conv2dFanPlan::make(
+                cv->weights, geom, bo * cpb,
+                std::min((bo + 1) * cpb, cv->out_channels), bi * cpb,
+                std::min((bi + 1) * cpb, cv->in_channels), n1));
+        std::set<int> babies_u, giants_u;
+        int masks = 0;
+        int giant_rots = 0;
+        double rot_cost = 0.0;
+        bool hoist = false;
+        for (int bi = 0; bi < blocks_in; ++bi) {
+          // One hoisted decomposition per input block serves the union of
+          // its pairs' baby fans across every output block it feeds.
+          std::set<int> fan_u;
+          for (int bo = 0; bo < blocks_out; ++bo) {
+            const fhe::Conv2dFanPlan& p = pairs[static_cast<std::size_t>(
+                bo * blocks_in + bi)];
+            fan_u.insert(p.baby_steps.begin(), p.baby_steps.end());
+            giant_rots += static_cast<int>(p.giant_steps.size());
+            giants_u.insert(p.giant_steps.begin(), p.giant_steps.end());
+            masks += p.mask_mults;
+          }
+          const int fan_n = static_cast<int>(fan_u.size());
+          const bool h = fan_n > 0 &&
+                         opts.force_hoist.value_or(cost.fan_cost(fan_n, true) <=
+                                                   cost.fan_cost(fan_n, false));
+          hoist = hoist || h;
+          rot_cost += cost.fan_cost(fan_n, h);
+          babies_u.insert(fan_u.begin(), fan_u.end());
+        }
+        rot_cost += static_cast<double>(giant_rots) * cost.rotate_ms;
+        // An output block no pair feeds still pays the zero-mask multiply
+        // that manufactures a ciphertext of the right shape.
+        int plain = masks;
+        for (int bo = 0; bo < blocks_out; ++bo) {
+          bool any = false;
+          for (int bi = 0; bi < blocks_in; ++bi)
+            any = any ||
+                  pairs[static_cast<std::size_t>(bo * blocks_in + bi)].mask_mults > 0;
+          if (!any) plain += 1;
+        }
+        fhe::SchedulePrediction ops;
+        ops.plain_mults = plain;
+        ops.rescales = blocks_out;
+        ops.levels = 1;
+        const double c = cost.eval_cost(ops) + rot_cost;
+        if (first || c < sp_.predicted_cost) {
+          sp_.conv_n1 = n1;
+          sp_.rotation_steps.assign(babies_u.begin(), babies_u.end());
+          sp_.giant_steps.assign(giants_u.begin(), giants_u.end());
+          sp_.diag_mults = masks;
           sp_.hoist_fan = hoist;
           sp_.ops = ops;
           sp_.predicted_cost = c;

@@ -83,12 +83,18 @@ struct StagePlan {
   /// Hoistable fan from the stage input (window/pool taps, compact masks,
   /// matmul BSGS baby steps).
   std::vector<int> rotation_steps;
-  /// MatMul only: naive giant-step rotations of the BSGS block sums.
+  /// MatMul/Conv: naive giant-step rotations of the BSGS block sums.
   std::vector<int> giant_steps;
   int bsgs_n1 = 0;                 ///< MatMul only: chosen baby block size
-  int diag_mults = 0;              ///< MatMul only: nonzero diagonal count
+  /// Conv only: chosen channel-offset BSGS block size (0 = pure rotation
+  /// fan, the im2col-style baseline; >= 1 = giant steps over ch_stride).
+  int conv_n1 = -1;
+  /// MatMul: nonzero diagonal count; Conv: plaintext mask count.
+  int diag_mults = 0;
   std::size_t width_in = 0;        ///< tracked slot-layout width entering
   std::size_t width_out = 0;       ///< ... and leaving the stage
+  StageLayout layout_in;           ///< slot layout entering the stage
+  StageLayout layout_out;          ///< ... and leaving it
   fhe::SchedulePrediction ops;     ///< predicted evaluator op counts
   double predicted_cost = 0.0;     ///< CostModel-weighted stage cost
 };
@@ -129,6 +135,10 @@ struct PlanOptions {
   /// per-diagonal rotation loop, benchmark baseline); unset = pick the n1
   /// minimizing rotate/hoist/plain-mult cost under the cost table.
   std::optional<int> force_matmul_n1;
+  /// Pins every Conv stage's channel-offset block size (0 = the pure
+  /// rotation fan, the naive im2col baseline); unset = pick the cheaper of
+  /// fan and BSGS under the cost table.
+  std::optional<int> force_conv_n1;
   /// Slot-layout repeat stride for packed batches (0 = whole slot vector):
   /// widths are validated against it and MatMul/Compact plaintexts
   /// replicate per request. BatchRunner passes its input_size here.

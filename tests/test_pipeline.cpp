@@ -253,13 +253,28 @@ TEST(PipelineLowering, RejectsUnreplacedAndDynamicAndUnsupported) {
     EXPECT_THROW(smartpaf::FhePipeline::lower(m), sp::Error);
   }
   {
-    // nn::Linear lowers to a MatMulStage since the diagonal-matmul layer
-    // landed; a 2-D conv stays unsupported.
-    sp::Rng rng(3);
+    // A layer kind the lowering has never heard of (Conv2d lowers now, so
+    // the case needs a test-local stub). The rejection must name the layer
+    // so a model author can find the offending module.
+    class FancyNorm final : public nn::Layer {
+     public:
+      nn::Tensor forward(const nn::Tensor& x, bool) override { return x; }
+      nn::Tensor backward(const nn::Tensor& gy) override { return gy; }
+      std::string name() const override { return "fancy_norm"; }
+    };
     auto seq = std::make_unique<nn::Sequential>("s");
-    seq->add(std::make_unique<nn::Conv2d>(1, 1, 3, 1, 1, rng));
+    seq->add(std::make_unique<FancyNorm>());
     nn::Model m(std::move(seq), "m");
-    EXPECT_THROW(smartpaf::FhePipeline::lower(m), sp::Error);
+    bool rejected = false;
+    try {
+      smartpaf::FhePipeline::lower(m);
+    } catch (const sp::Error& e) {
+      rejected = true;
+      EXPECT_NE(std::string(e.what()).find("unsupported layer 'fancy_norm'"),
+                std::string::npos)
+          << e.what();
+    }
+    EXPECT_TRUE(rejected);
   }
   {
     sp::Rng rng(3);
