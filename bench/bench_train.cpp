@@ -1,0 +1,221 @@
+// Encrypted-training bench: trains logistic regression under CKKS with each
+// optimizer, reporting ms/iteration (crypto time only, packing separate),
+// per-iteration parity against the pure-double PAF mirror, and test accuracy
+// against the nn::optim plaintext oracle. Also prints the planner's
+// iterations-per-chain table: how many bootstrap-less steps each optimizer
+// fits into chains of increasing depth — the budget a deployment actually
+// shops with.
+//
+// Writes JSON to bench_out/train.json. FAILS (exit 1) when any encrypted
+// run's test accuracy trails its plaintext oracle by more than 2 points —
+// the paper-style acceptance bar — or when mirror parity degrades past 1e-3.
+//
+// Usage: bench_train [quick]   ("quick" drops the deg-5 sigmoid variant)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/check.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "data/synthetic.h"
+#include "train/checkpoint.h"
+#include "train/reference.h"
+
+namespace {
+
+using namespace sp;
+
+struct Variant {
+  std::string name;
+  train::TrainConfig cfg;
+  int depth = 0;  ///< prime-chain depth the run declares
+};
+
+struct Row {
+  std::string name;
+  int levels_per_step = 0;
+  int chain_levels = 0;
+  int iterations = 0;
+  double pack_ms = 0.0;     ///< client-side batch encryption, total
+  double ms_per_iter = 0.0; ///< mean encrypted step() wall clock
+  double parity = 0.0;      ///< max |enc - mirror| over all iterations
+  double acc_enc = 0.0;
+  double acc_oracle = 0.0;
+  std::size_t ckpt_bytes = 0;
+};
+
+Row run_variant(const Variant& var, const data::TwoGaussianData& ds) {
+  smartpaf::FheRuntime rt(
+      fhe::CkksParams::for_depth(2048, var.depth, 40), /*seed=*/2024);
+  const std::vector<train::MiniBatch> batches =
+      train::make_batches(data::design_matrix(ds.train), var.cfg.batch);
+  const train::TrainPlan plan = train::TrainPlan::plan(var.cfg, rt.ctx());
+  train::check_sigmoid_range(plan, batches);
+  const train::ReferenceRun ref = train::reference_paf_run(plan, batches);
+  const train::OracleRun oracle = train::optim_oracle_run(plan, batches);
+
+  Row row;
+  row.name = var.name;
+  row.levels_per_step = plan.levels_per_step;
+  row.chain_levels = plan.chain_levels;
+  row.iterations = var.cfg.iterations;
+
+  sp::Timer pack_t;
+  std::vector<train::EncryptedBatch> enc;
+  for (int t = 0; t < var.cfg.iterations; ++t)
+    enc.push_back(train::EncryptedBatch::pack(
+        batches[static_cast<std::size_t>(t) % batches.size()], plan, rt));
+  row.pack_ms = pack_t.ms();
+
+  train::EncryptedLogReg model(plan, rt);
+  double step_ms = 0.0;
+  for (int t = 0; t < var.cfg.iterations; ++t) {
+    sp::Timer st;
+    model.step(enc[static_cast<std::size_t>(t)]);
+    step_ms += st.ms();
+    const std::vector<double> w = model.weights();
+    for (int j = 0; j < var.cfg.features; ++j)
+      row.parity = std::max(
+          row.parity,
+          std::abs(w[static_cast<std::size_t>(j)] -
+                   ref.weights_per_iter[static_cast<std::size_t>(t)]
+                                       [static_cast<std::size_t>(j)]));
+  }
+  row.ms_per_iter = step_ms / var.cfg.iterations;
+
+  const data::DesignMatrix test = data::design_matrix(ds.test);
+  row.acc_enc = train::binary_accuracy(model.weights(), test);
+  row.acc_oracle = train::binary_accuracy(oracle.weights_per_iter.back(), test);
+  row.ckpt_bytes = train::serialize_training_state(model.state()).size();
+  return row;
+}
+
+/// How many bootstrap-less iterations each optimizer fits into a chain of
+/// the given depth — pure plan math (levels_per_step is data-independent).
+int max_iterations(train::TrainConfig cfg, const fhe::CkksContext& ctx) {
+  cfg.iterations = 1;
+  try {
+    const train::TrainPlan one = train::TrainPlan::plan(cfg, ctx);
+    return one.chain_levels / one.levels_per_step;
+  } catch (const sp::Error&) {
+    return 0;  // even one step does not fit this chain
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "quick";
+
+  data::TwoGaussianSpec spec;
+  const data::TwoGaussianData ds = data::make_two_gaussian(spec);
+
+  std::vector<Variant> variants;
+  {
+    Variant sgd;
+    sgd.name = "sgd-momentum deg3";
+    sgd.cfg.batch = 16;
+    sgd.cfg.iterations = 3;
+    sgd.cfg.lr = 0.5;
+    sgd.depth = 12;
+    variants.push_back(sgd);
+
+    if (!quick) {
+      Variant sgd5 = sgd;
+      sgd5.name = "sgd-momentum deg5";
+      sgd5.cfg.sigmoid_degree = 5;
+      sgd5.depth = 15;  // 3 iterations x 5 levels/step
+      variants.push_back(sgd5);
+    }
+
+    Variant adam;
+    adam.name = "adam deg3+inv5";
+    adam.cfg.batch = 16;
+    adam.cfg.iterations = 2;
+    adam.cfg.optimizer = train::Optimizer::Adam;
+    adam.cfg.lr = 0.25;
+    adam.depth = 20;
+    variants.push_back(adam);
+  }
+
+  std::vector<Row> rows;
+  for (const Variant& var : variants) {
+    std::printf("[bench] %s: depth %d, %d iterations...\n", var.name.c_str(),
+                var.depth, var.cfg.iterations);
+    rows.push_back(run_variant(var, ds));
+  }
+
+  Table table({"variant", "lv/step", "chain", "iters", "pack_ms", "ms/iter",
+               "parity", "acc_enc", "acc_oracle", "ckpt_KiB"});
+  for (const Row& r : rows)
+    table.add_row({r.name, std::to_string(r.levels_per_step),
+                   std::to_string(r.chain_levels), std::to_string(r.iterations),
+                   Table::num(r.pack_ms, 1), Table::num(r.ms_per_iter, 1),
+                   Table::num(r.parity, 8), bench::pct(r.acc_enc),
+                   bench::pct(r.acc_oracle),
+                   Table::num(static_cast<double>(r.ckpt_bytes) / 1024.0, 1)});
+  table.print(std::cout);
+
+  // Iterations-per-chain: the deployment-facing budget table.
+  {
+    train::TrainConfig sgd3, sgd5, adam;
+    sgd5.sigmoid_degree = 5;
+    adam.optimizer = train::Optimizer::Adam;
+    Table budget({"chain_levels", "sgd deg3", "sgd deg5", "adam"});
+    for (const int depth : {8, 12, 16, 20, 30, 40}) {
+      const fhe::CkksContext ctx(fhe::CkksParams::for_depth(2048, depth, 40));
+      budget.add_row({std::to_string(depth),
+                      std::to_string(max_iterations(sgd3, ctx)),
+                      std::to_string(max_iterations(sgd5, ctx)),
+                      std::to_string(max_iterations(adam, ctx))});
+    }
+    std::printf("\nbootstrap-less iterations per chain depth:\n");
+    budget.print(std::cout);
+  }
+
+  const std::string json_path = bench::out_dir() + "/train.json";
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "  {\"variant\": \"%s\", \"levels_per_step\": %d, "
+                   "\"chain_levels\": %d, \"iterations\": %d, "
+                   "\"pack_ms\": %.3f, \"ms_per_iter\": %.3f, "
+                   "\"parity\": %.3e, \"acc_enc\": %.4f, "
+                   "\"acc_oracle\": %.4f, \"ckpt_bytes\": %zu}%s\n",
+                   r.name.c_str(), r.levels_per_step, r.chain_levels,
+                   r.iterations, r.pack_ms, r.ms_per_iter, r.parity, r.acc_enc,
+                   r.acc_oracle, r.ckpt_bytes,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("[bench] wrote %s\n", json_path.c_str());
+  }
+
+  bool ok = true;
+  for (const Row& r : rows) {
+    if (r.acc_enc < r.acc_oracle - 0.02) {
+      std::printf("[bench] FAIL: %s encrypted accuracy %s trails the "
+                  "plaintext oracle %s by more than 2 points\n",
+                  r.name.c_str(), bench::pct(r.acc_enc).c_str(),
+                  bench::pct(r.acc_oracle).c_str());
+      ok = false;
+    }
+    if (!(r.parity < 1e-3)) {
+      std::printf("[bench] FAIL: %s mirror parity %.3e exceeds 1e-3\n",
+                  r.name.c_str(), r.parity);
+      ok = false;
+    }
+  }
+  std::printf("[bench] accuracy within 2 points of the oracle: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -281,4 +281,45 @@ std::vector<std::string> depth_schedule(const CompositePaf& paf) {
   return lines;
 }
 
+SigmoidPaf sigmoid_paf(int degree, double range) {
+  check(degree >= 1 && degree % 2 == 1, "sigmoid_paf: degree must be odd");
+  check(range > 0.0, "sigmoid_paf: range > 0 required");
+  // sigma(z) = 1/2 + odd(z): fit the odd part with the odd-basis exchange on
+  // the normalized interval (the full-basis exchange degenerates on
+  // symmetric targets — see remez_fit_odd), then add the 1/2 back.
+  const RemezResult fit = remez_fit_odd(
+      [range](double u) { return 1.0 / (1.0 + std::exp(-range * u)) - 0.5; },
+      1.0, degree);
+  // Substitute u -> z/range so the polynomial accepts raw pre-activations.
+  std::vector<double> c = fit.poly.coeffs();
+  double p = 1.0;
+  for (auto& ck : c) {
+    ck /= p;
+    p *= range;
+  }
+  c[0] += 0.5;  // odd_poly leaves the constant slot zero
+  SigmoidPaf out;
+  out.poly = Polynomial(std::move(c));
+  out.degree = degree;
+  out.range = range;
+  out.max_error = fit.minimax_error;
+  return out;
+}
+
+InvSqrtPaf invsqrt_paf(int degree, double vmax, double eps) {
+  check(degree >= 1, "invsqrt_paf: degree >= 1 required");
+  check(vmax > 0.0, "invsqrt_paf: vmax > 0 required");
+  check(eps > 0.0, "invsqrt_paf: eps > 0 required");
+  const RemezResult fit = remez_fit(
+      [eps](double v) { return 1.0 / std::sqrt(std::max(v, 0.0) + eps); },
+      0.0, vmax, degree);
+  InvSqrtPaf out;
+  out.poly = fit.poly;
+  out.degree = degree;
+  out.vmax = vmax;
+  out.eps = eps;
+  out.max_error = fit.minimax_error;
+  return out;
+}
+
 }  // namespace sp::approx

@@ -64,4 +64,40 @@ std::vector<double> paper_alpha7_coeffs();
 /// for this PAF (reproduces the Fig. 10 / Table 8 schedule).
 std::vector<std::string> depth_schedule(const CompositePaf& paf);
 
+/// Wide-range minimax sigmoid for encrypted training (train::EncryptedLogReg).
+///
+/// `poly` is the full-basis Remez fit of sigma(z) usable directly on the raw
+/// pre-activation z; the exchange itself runs on sigma(range*u) over the
+/// normalized interval [-1, 1] and the coefficients are substituted
+/// u -> z/range afterwards (range pre-scaling keeps the Vandermonde solve
+/// well-conditioned however wide the range — arXiv:2405.15201). Inputs must
+/// stay inside |z| <= range; outside it a low-degree fit diverges fast, which
+/// is what train::check_sigmoid_range guards against (arXiv:1902.01870).
+struct SigmoidPaf {
+  Polynomial poly;
+  int degree = 3;
+  double range = 8.0;
+  double max_error = 0.0;  ///< minimax error of sigma(z) - poly(z) on [-range, range]
+};
+
+/// Degree-`degree` (odd; 3 and 5 are the trainer's menu — depth 2 and 3)
+/// minimax sigmoid over [-range, range].
+SigmoidPaf sigmoid_paf(int degree, double range);
+
+/// Minimax fit of 1/sqrt(v + eps) on [0, vmax] — the Adam denominator
+/// m_hat / sqrt(v_hat + eps) as a single polynomial (the division and the
+/// square root together; SNIPPETS.md snippet 1 is the OpenFHE-logreg
+/// analogue). `eps` regularizes *inside* the root so the target stays
+/// analytic at v = 0; pushing it toward zero steepens the left edge and
+/// inflates max_error, so the trainer defaults to a deliberately large 0.1.
+struct InvSqrtPaf {
+  Polynomial poly;
+  int degree = 5;
+  double vmax = 1.0;
+  double eps = 0.1;
+  double max_error = 0.0;  ///< minimax error over [0, vmax]
+};
+
+InvSqrtPaf invsqrt_paf(int degree, double vmax, double eps);
+
 }  // namespace sp::approx

@@ -19,6 +19,146 @@ Polynomial odd_poly(const std::vector<double>& c) {
 
 }  // namespace
 
+RemezResult remez_fit(const std::function<double(double)>& f, double lo,
+                      double hi, int degree, int max_iters, int grid) {
+  check(degree >= 1, "remez_fit: degree >= 1 required");
+  check(lo < hi, "remez_fit: empty interval");
+  check(grid >= 4 * (degree + 2), "remez_fit: grid too coarse for degree");
+  const std::size_t m = static_cast<std::size_t>(degree) + 1;  // free coefficients
+  // Initial reference: degree+2 Chebyshev nodes mapped onto [lo, hi].
+  std::vector<double> ref(m + 1);
+  for (std::size_t i = 0; i <= m; ++i) {
+    const double t = std::cos(M_PI * static_cast<double>(m - i) / static_cast<double>(m));
+    ref[i] = lo + (hi - lo) * 0.5 * (t + 1.0);
+  }
+
+  RemezResult result;
+  double prev_err = -1.0;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // Solve p(x_i) + (-1)^i E = f(x_i) for the degree+1 coefficients and E.
+    const std::size_t n = m + 1;
+    std::vector<long double> a(n * n, 0.0L), b(n, 0.0L);
+    for (std::size_t i = 0; i < n; ++i) {
+      long double xp = 1.0L;
+      for (std::size_t k = 0; k < m; ++k) {
+        a[i * n + k] = xp;
+        xp *= ref[i];
+      }
+      a[i * n + m] = (i % 2 == 0) ? 1.0L : -1.0L;
+      b[i] = f(ref[i]);
+    }
+    std::vector<double> sol = solve_linear(std::move(a), std::move(b));
+    std::vector<double> coeffs(sol.begin(), sol.begin() + static_cast<long>(m));
+    const double level = std::abs(sol[m]);
+    Polynomial p{std::move(coeffs)};
+
+    // Locate alternating extrema of e(x) = p(x) - f(x) on a dense grid.
+    std::vector<double> xs(static_cast<std::size_t>(grid)), es(static_cast<std::size_t>(grid));
+    for (int i = 0; i < grid; ++i) {
+      xs[static_cast<std::size_t>(i)] = lo + (hi - lo) * static_cast<double>(i) / (grid - 1);
+      es[static_cast<std::size_t>(i)] = p(xs[static_cast<std::size_t>(i)]) - f(xs[static_cast<std::size_t>(i)]);
+    }
+    std::vector<double> new_ref;
+    std::size_t i = 0;
+    while (i < xs.size()) {
+      const bool pos = es[i] >= 0.0;
+      std::size_t best = i;
+      while (i < xs.size() && (es[i] >= 0.0) == pos) {
+        if (std::abs(es[i]) > std::abs(es[best])) best = i;
+        ++i;
+      }
+      new_ref.push_back(xs[best]);
+    }
+    while (new_ref.size() > m + 1) {
+      const double e_front = std::abs(p(new_ref.front()) - f(new_ref.front()));
+      const double e_back = std::abs(p(new_ref.back()) - f(new_ref.back()));
+      if (e_front < e_back)
+        new_ref.erase(new_ref.begin());
+      else
+        new_ref.pop_back();
+    }
+    result.poly = std::move(p);
+    result.minimax_error = level;
+    result.iterations = iter + 1;
+    if (new_ref.size() < m + 1) break;  // error already below grid resolution
+    ref = std::move(new_ref);
+    if (prev_err >= 0.0 && std::abs(level - prev_err) < 1e-14) break;
+    prev_err = level;
+  }
+  return result;
+}
+
+RemezResult remez_fit_odd(const std::function<double(double)>& f, double hi,
+                          int degree, int max_iters, int grid) {
+  check(degree >= 1 && degree % 2 == 1, "remez_fit_odd: degree must be odd");
+  check(hi > 0.0, "remez_fit_odd: hi > 0 required");
+  const std::size_t m = static_cast<std::size_t>((degree + 1) / 2);  // free coefficients
+  check(grid >= 4 * static_cast<int>(m + 1), "remez_fit_odd: grid too coarse");
+  // Initial reference: m+1 Chebyshev nodes on (0, hi] — x = 0 is excluded
+  // because the odd error vanishes there and can never carry an alternation.
+  std::vector<double> ref(m + 1);
+  for (std::size_t i = 0; i <= m; ++i) {
+    const double t = std::cos(M_PI * static_cast<double>(m - i) / static_cast<double>(m + 1));
+    ref[i] = hi * 0.5 * (t + 1.0) + hi * 0.25 / static_cast<double>(grid);
+  }
+
+  RemezResult result;
+  double prev_err = -1.0;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // Solve p(x_i) + (-1)^i E = f(x_i) for the m odd coefficients and E.
+    const std::size_t n = m + 1;
+    std::vector<long double> a(n * n, 0.0L), b(n, 0.0L);
+    for (std::size_t i = 0; i < n; ++i) {
+      long double xp = ref[i];
+      const long double x2 = static_cast<long double>(ref[i]) * ref[i];
+      for (std::size_t k = 0; k < m; ++k) {
+        a[i * n + k] = xp;
+        xp *= x2;
+      }
+      a[i * n + m] = (i % 2 == 0) ? 1.0L : -1.0L;
+      b[i] = f(ref[i]);
+    }
+    std::vector<double> sol = solve_linear(std::move(a), std::move(b));
+    std::vector<double> coeffs(sol.begin(), sol.begin() + static_cast<long>(m));
+    const double level = std::abs(sol[m]);
+    Polynomial p = odd_poly(coeffs);
+
+    // Locate alternating extrema of e(x) = p(x) - f(x) on (0, hi].
+    std::vector<double> xs(static_cast<std::size_t>(grid)), es(static_cast<std::size_t>(grid));
+    for (int i = 0; i < grid; ++i) {
+      xs[static_cast<std::size_t>(i)] = hi * static_cast<double>(i + 1) / grid;
+      es[static_cast<std::size_t>(i)] = p(xs[static_cast<std::size_t>(i)]) - f(xs[static_cast<std::size_t>(i)]);
+    }
+    std::vector<double> new_ref;
+    std::size_t i = 0;
+    while (i < xs.size()) {
+      const bool pos = es[i] >= 0.0;
+      std::size_t best = i;
+      while (i < xs.size() && (es[i] >= 0.0) == pos) {
+        if (std::abs(es[i]) > std::abs(es[best])) best = i;
+        ++i;
+      }
+      new_ref.push_back(xs[best]);
+    }
+    while (new_ref.size() > m + 1) {
+      const double e_front = std::abs(p(new_ref.front()) - f(new_ref.front()));
+      const double e_back = std::abs(p(new_ref.back()) - f(new_ref.back()));
+      if (e_front < e_back)
+        new_ref.erase(new_ref.begin());
+      else
+        new_ref.pop_back();
+    }
+    result.poly = std::move(p);
+    result.minimax_error = level;
+    result.iterations = iter + 1;
+    if (new_ref.size() < m + 1) break;  // error already below grid resolution
+    ref = std::move(new_ref);
+    if (prev_err >= 0.0 && std::abs(level - prev_err) < 1e-14) break;
+    prev_err = level;
+  }
+  return result;
+}
+
 RemezResult remez_sign(int degree, double eps, int max_iters, int grid) {
   check(degree >= 1 && degree % 2 == 1, "remez_sign: degree must be odd");
   check(eps > 0.0 && eps < 1.0, "remez_sign: eps in (0,1) required");

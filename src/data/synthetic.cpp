@@ -92,6 +92,68 @@ SyntheticSpec SyntheticSpec::imagenet_like(int hw) {
   return s;
 }
 
+namespace {
+
+void fill_gaussian_split(nn::Dataset& ds, int count, const TwoGaussianSpec& spec,
+                         const std::vector<double>& dir, sp::Rng& rng) {
+  ds.images = nn::Tensor({count, 1, 1, spec.features});
+  ds.labels.resize(static_cast<std::size_t>(count));
+  ds.num_classes = 2;
+  for (int n = 0; n < count; ++n) {
+    const int y = static_cast<int>(rng.randint(0, 1));
+    ds.labels[static_cast<std::size_t>(n)] = y;
+    const double sign = y == 1 ? 1.0 : -1.0;
+    for (int d = 0; d < spec.features; ++d) {
+      const double mean = sign * 0.5 * spec.separation * dir[static_cast<std::size_t>(d)];
+      ds.images.at(n, 0, 0, d) = static_cast<float>(mean + spec.noise * rng.normal());
+    }
+  }
+}
+
+}  // namespace
+
+TwoGaussianData make_two_gaussian(const TwoGaussianSpec& spec) {
+  sp::check(spec.features >= 1, "make_two_gaussian: need at least 1 feature");
+  sp::check(spec.train_count >= 1 && spec.test_count >= 1,
+            "make_two_gaussian: empty split");
+  sp::check(spec.noise > 0.0, "make_two_gaussian: noise must be positive");
+  sp::Rng rng(spec.seed);
+
+  TwoGaussianData out;
+  // Fixed random unit direction between the class means.
+  out.direction.resize(static_cast<std::size_t>(spec.features));
+  double norm2 = 0.0;
+  do {
+    norm2 = 0.0;
+    for (auto& v : out.direction) {
+      v = rng.normal();
+      norm2 += v * v;
+    }
+  } while (norm2 == 0.0);
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (auto& v : out.direction) v *= inv;
+
+  fill_gaussian_split(out.train, spec.train_count, spec, out.direction, rng);
+  fill_gaussian_split(out.test, spec.test_count, spec, out.direction, rng);
+  return out;
+}
+
+DesignMatrix design_matrix(const nn::Dataset& split) {
+  sp::check(split.images.ndim() == 4, "design_matrix: expected [N, C, H, W]");
+  DesignMatrix out;
+  out.rows = split.images.dim(0);
+  out.cols = split.images.dim(1) * split.images.dim(2) * split.images.dim(3);
+  sp::check(static_cast<std::size_t>(out.rows) == split.labels.size(),
+            "design_matrix: label count mismatch");
+  out.x.reserve(static_cast<std::size_t>(out.rows) * out.cols);
+  const float* data = split.images.data();
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(out.rows) * static_cast<std::size_t>(out.cols); ++i)
+    out.x.push_back(static_cast<double>(data[i]));
+  out.y = split.labels;
+  return out;
+}
+
 SyntheticData make_synthetic(const SyntheticSpec& spec) {
   sp::check(spec.num_classes >= 2, "make_synthetic: need at least 2 classes");
   sp::Rng rng(spec.seed);

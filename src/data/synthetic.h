@@ -39,4 +39,45 @@ struct SyntheticData {
 /// Deterministically generates the dataset for a spec.
 SyntheticData make_synthetic(const SyntheticSpec& spec);
 
+/// Specification of a seeded two-Gaussian binary-classification task (the
+/// encrypted-training workload: logistic regression has a clean closed-form
+/// notion of "how well can this possibly go", so encrypted-vs-plaintext
+/// accuracy deltas are attributable to the PAF, not the data).
+///
+/// Class y in {0, 1} draws x ~ N((2y - 1) * (separation / 2) * u, noise^2 I)
+/// for a fixed random unit direction u: symmetric means, so the Bayes
+/// boundary passes through the origin and a bias-free linear model can
+/// represent it exactly.
+struct TwoGaussianSpec {
+  int features = 4;
+  int train_count = 64;
+  int test_count = 64;
+  double separation = 3.0;  ///< distance between the two class means
+  double noise = 1.0;       ///< isotropic within-class stddev
+  std::uint64_t seed = 20240807;
+};
+
+/// Deterministic train/test split drawn from one seeded stream (the split is
+/// part of the seed: same spec, same bytes, in tests, bench and example).
+struct TwoGaussianData {
+  nn::Dataset train;  ///< images [N, 1, 1, features], labels 0/1
+  nn::Dataset test;
+  std::vector<double> direction;  ///< the unit vector between the class means
+};
+
+TwoGaussianData make_two_gaussian(const TwoGaussianSpec& spec);
+
+/// A dataset split flattened to a row-major design matrix (training-layer
+/// view: [rows x cols] doubles + 0/1 labels).
+struct DesignMatrix {
+  std::vector<double> x;  ///< row-major rows x cols
+  std::vector<int> y;
+  int rows = 0;
+  int cols = 0;
+};
+
+/// Flattens every image of `split` to one row (any [N, C, H, W] layout;
+/// cols = C*H*W).
+DesignMatrix design_matrix(const nn::Dataset& split);
+
 }  // namespace sp::data

@@ -8,19 +8,14 @@
 #include "common/hash.h"
 
 namespace sp::fhe {
-namespace {
 
-/// Floor-division giant step: g = n1 * floor(s / n1), so b = s - g lands in
-/// [0, n1) for negative steps too.
-int giant_of(int s, int n1) {
+// ------------------------------------------------------------ DiagMatVecPlan --
+
+int DiagMatVecPlan::giant_of(int s, int n1) {
   int g = (s / n1) * n1;
   if (s < 0 && g > s) g -= n1;
   return g;
 }
-
-}  // namespace
-
-// ------------------------------------------------------------ DiagMatVecPlan --
 
 std::vector<int> DiagMatVecPlan::nonzero_steps(const std::vector<double>& weights,
                                                int rows, int cols) {
@@ -86,6 +81,52 @@ std::vector<int> DiagMatVecPlan::steps() const {
   return all;
 }
 
+std::vector<int> DiagMatVecPlan::transpose_steps(const std::vector<int>& steps) {
+  std::vector<int> t;
+  t.reserve(steps.size());
+  for (int s : steps) t.push_back(-s);
+  std::sort(t.begin(), t.end());
+  return t;
+}
+
+int DiagMatVecPlan::best_n1(const std::vector<int>& steps, int rows, int cols) {
+  sp::check(!steps.empty(), "DiagMatVecPlan::best_n1: no nonzero diagonals");
+  int best = 1;
+  int best_rot = -1, best_groups = -1;
+  for (int n1 = 1; n1 <= rows + cols; ++n1) {
+    const DiagMatVecPlan p = group(steps, rows, cols, n1);
+    const int rot = p.rotations();
+    if (best_rot < 0 || rot < best_rot ||
+        (rot == best_rot && p.giant_groups < best_groups)) {
+      best = n1;
+      best_rot = rot;
+      best_groups = p.giant_groups;
+    }
+  }
+  return best;
+}
+
+std::vector<double> extended_diagonal_slots(const std::vector<double>& weights,
+                                            int rows, int cols, int s, int g,
+                                            std::size_t tile, std::size_t slots) {
+  sp::check(tile > 0 && slots % tile == 0 && tile <= slots,
+            "extended_diagonal_slots: tile must divide the slot count");
+  const int tile_i = static_cast<int>(tile);
+  std::vector<double> v(slots, 0.0);
+  const int j_lo = std::max(0, -s);
+  const int j_hi = std::min(rows, cols - s);
+  for (int j = j_lo; j < j_hi; ++j) {
+    const double w = weights[static_cast<std::size_t>(j) * cols + (j + s)];
+    if (w == 0.0) continue;
+    // Pre-rotation by -g: the giant rotation of the block sum moves this
+    // entry back to slot j (mod tile), where diagonal s expects it.
+    const int at = ((j + g) % tile_i + tile_i) % tile_i;
+    for (std::size_t base = 0; base < slots; base += tile)
+      v[base + static_cast<std::size_t>(at)] = w;
+  }
+  return v;
+}
+
 // ------------------------------------------------------------ DiagonalMatVec --
 
 DiagonalMatVec::DiagonalMatVec(const Encoder& enc, std::vector<double> weights,
@@ -119,21 +160,8 @@ DiagonalMatVec::DiagonalMatVec(const Encoder& enc, std::vector<double> weights,
 }
 
 std::vector<double> DiagonalMatVec::diagonal_slots(int s, int g) const {
-  const std::size_t slots = enc_->slot_count();
-  const int tile = static_cast<int>(tile_);
-  std::vector<double> v(slots, 0.0);
-  const int j_lo = std::max(0, -s);
-  const int j_hi = std::min(rows_, cols_ - s);
-  for (int j = j_lo; j < j_hi; ++j) {
-    const double w = weights_[static_cast<std::size_t>(j) * cols_ + (j + s)];
-    if (w == 0.0) continue;
-    // Pre-rotation by -g: the giant rotation of the block sum moves this
-    // entry back to slot j (mod tile), where diagonal s expects it.
-    const int at = ((j + g) % tile + tile) % tile;
-    for (std::size_t base = 0; base < slots; base += tile_)
-      v[base + static_cast<std::size_t>(at)] = w;
-  }
-  return v;
+  return extended_diagonal_slots(weights_, rows_, cols_, s, g, tile_,
+                                 enc_->slot_count());
 }
 
 Ciphertext DiagonalMatVec::apply(Evaluator& ev, const Ciphertext& x,
@@ -169,9 +197,9 @@ Ciphertext DiagonalMatVec::apply(Evaluator& ev, const Ciphertext& x,
   std::optional<Ciphertext> total;
   std::size_t i = 0;
   while (i < steps.size()) {
-    const int g = giant_of(steps[i], plan_.n1);
+    const int g = DiagMatVecPlan::giant_of(steps[i], plan_.n1);
     std::optional<Ciphertext> acc;
-    for (; i < steps.size() && giant_of(steps[i], plan_.n1) == g; ++i) {
+    for (; i < steps.size() && DiagMatVecPlan::giant_of(steps[i], plan_.n1) == g; ++i) {
       const int s = steps[i];
       Ciphertext term = baby(s - g);
       const std::uint64_t key = fnv_mix(fingerprint_, static_cast<std::uint64_t>(

@@ -49,6 +49,23 @@ struct DiagMatVecPlan {
   static DiagMatVecPlan make(const std::vector<double>& weights, int rows, int cols,
                              int n1);
 
+  /// @brief Floor-division giant step: g = n1 * floor(s / n1), so the baby
+  /// b = s - g lands in [0, n1) for negative steps too.
+  static int giant_of(int s, int n1);
+
+  /// @brief Extended-diagonal steps of the transpose: diagonal s is nonzero
+  /// in W^T exactly when diagonal -s is nonzero in W (ascending). A client
+  /// holding the plaintext matrix can therefore pack W^T's diagonals
+  /// directly at encode time — no homomorphic repacking of W is needed to
+  /// multiply by the transpose (the encrypted trainer's X^T * err path).
+  static std::vector<int> transpose_steps(const std::vector<int>& steps);
+
+  /// @brief The n1 in [1, rows + cols] minimizing the rotation count
+  /// (#babies + #giants), ties broken toward fewer giant groups then the
+  /// smaller n1 — the heuristic split when no calibrated cost table is in
+  /// play (the Planner's MatMul path weighs candidates with one instead).
+  static int best_n1(const std::vector<int>& steps, int rows, int cols);
+
   /// @brief Slot rotations the schedule executes (babies + giants).
   int rotations() const {
     return static_cast<int>(baby_steps.size() + giant_steps.size());
@@ -57,6 +74,18 @@ struct DiagMatVecPlan {
   /// @brief Union of every rotation step the schedule needs (keygen).
   std::vector<int> steps() const;
 };
+
+/// Slot vector of extended diagonal `s` of a row-major `rows` x `cols`
+/// matrix, pre-rotated by -g (the BSGS giant pre-rotation: the entry for row
+/// j lands at slot (j + g) mod tile, so the giant rotation moves it back)
+/// and replicated every `tile` slots of a `slots`-slot vector.
+///
+/// Shared by the plaintext DiagonalMatVec encode path and the
+/// ciphertext-side diagonal packing in EncDiagMatVec — both sides of a
+/// ct x pt / ct x ct product must agree on this layout bit for bit.
+std::vector<double> extended_diagonal_slots(const std::vector<double>& weights,
+                                            int rows, int cols, int s, int g,
+                                            std::size_t tile, std::size_t slots);
 
 /// Executes a planned diagonal-method matrix-vector product on a ciphertext:
 /// one (optionally hoisted) baby-step rotation fan from the input, one

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "fhe/diag_matvec.h"
+#include "fhe/encryptor.h"
+#include "fhe/keys.h"
+
+namespace sp::fhe {
+
+/// (factor * ct) landed at exactly (target_level, target_scale): one
+/// plaintext multiplication + rescale, consuming one of `ct`'s own levels.
+///
+/// The scalar is encoded at scale target_scale * q / ct.scale (q = the prime
+/// the rescale divides out), so the result's scale is target_scale *exactly*
+/// — this is how cross-path operands whose scales have drifted apart through
+/// different rescale chains are brought back onto a common (level, scale)
+/// pair before an add/sub. Same construction as eval_poly's internal
+/// coefficient delivery; exposed here because the encrypted trainer aligns
+/// operands across paths (labels vs sigmoid output, momentum vs gradient,
+/// weights vs update) every iteration.
+Ciphertext scaled_to(Evaluator& ev, const CkksContext& ctx, const Encoder& enc,
+                     const Ciphertext& ct, double factor, int target_level,
+                     double target_scale);
+
+/// Halevi–Shoup diagonal matvec with an ENCRYPTED matrix: y = X v where the
+/// extended diagonals of X are ciphertexts (the training batch — the server
+/// must never see the data) and v is a ciphertext (the weights).
+///
+/// The schedule is the same BSGS split DiagonalMatVec runs, with plaintext
+/// multiplications upgraded to ciphertext x ciphertext: the client packs
+/// diagonal s pre-rotated by -giant_of(s, n1) at encryption time (free, it
+/// has the plaintext), the server computes
+///   y = sum_g rot( sum_b  ct_diag[g+b] * rot(v, b),  g )
+/// keeping each giant group's inner sum 3-part (lazy relinearization) and
+/// paying ONE relinearization per giant group, right before the giant
+/// rotation — 3-part ciphertexts cannot rotate. One rescale at the join;
+/// the product consumes exactly one level.
+class EncDiagMatVec {
+ public:
+  /// @brief Packs and encrypts the extended diagonals of `weights` under
+  /// `plan` (row-major plan.rows x plan.cols; every plan.diag_steps entry
+  /// becomes one ciphertext, pre-rotated exactly like the plaintext path).
+  /// @param tile  slot-layout repeat stride; 0 = one layout over all slots
+  static EncDiagMatVec encrypt(const CkksContext& ctx, const Encoder& enc,
+                               Encryptor& encryptor, const DiagMatVecPlan& plan,
+                               const std::vector<double>& weights,
+                               std::size_t tile, double scale);
+
+  const DiagMatVecPlan& plan() const { return plan_; }
+  const std::vector<Ciphertext>& diagonals() const { return diags_; }
+  std::vector<Ciphertext>& diagonals() { return diags_; }
+
+  /// @brief y = X v, one level below min(level(v), level(diagonals)).
+  /// @param v      2-part weight ciphertext (data in slots [0, plan.cols))
+  /// @param gk     rotation keys covering plan().steps()
+  /// @param relin  relinearization key (one use per giant group)
+  Ciphertext apply(Evaluator& ev, const Ciphertext& v, const GaloisKeys& gk,
+                   const KSwitchKey& relin, bool hoist_babies = true) const;
+
+ private:
+  DiagMatVecPlan plan_;
+  std::vector<Ciphertext> diags_;  ///< parallel to plan_.diag_steps
+};
+
+}  // namespace sp::fhe

@@ -17,6 +17,8 @@ const char* kind_name(BlobKind k) {
     case BlobKind::KSwitchKey: return "KSwitchKey";
     case BlobKind::GaloisKeys: return "GaloisKeys";
     case BlobKind::Plan: return "Plan";
+    case BlobKind::RotationSteps: return "RotationSteps";
+    case BlobKind::TrainingState: return "TrainingState";
   }
   return "unknown";
 }

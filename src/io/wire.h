@@ -25,7 +25,10 @@ constexpr std::uint32_t kMagic = 0x42575053u;  // 'S','P','W','B' little-endian
 /// Wire format version. Bump on ANY layout change; deserializers reject
 /// other versions outright (no silent best-effort decoding). Compatibility
 /// policy lives in docs/WIRE.md.
-constexpr std::uint16_t kVersion = 1;
+///
+/// v2: BlobKind::TrainingState added (encrypted-training checkpoints) and
+/// the length-prefixed raw-blob helper it nests ciphertexts with.
+constexpr std::uint16_t kVersion = 2;
 
 /// Payload type tag carried in every header, so a blob handed to the wrong
 /// deserializer fails loudly instead of misparsing.
@@ -40,6 +43,7 @@ enum class BlobKind : std::uint16_t {
   GaloisKeys = 8,
   Plan = 9,
   RotationSteps = 10,  ///< serving handshake: steps the server's schedule needs
+  TrainingState = 11,  ///< encrypted-training checkpoint (train::TrainingState)
 };
 
 /// Appends little-endian scalars and raw bytes to an owned buffer.
@@ -86,6 +90,13 @@ class WireWriter {
   void str(const std::string& s) {
     u64(s.size());
     buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  /// Length-prefixed raw byte blob — nests one complete serialized blob
+  /// (header and all) inside another, e.g. the ciphertexts inside a
+  /// TrainingState checkpoint.
+  void blob(const std::vector<std::uint8_t>& b) {
+    u64(b.size());
+    buf_.insert(buf_.end(), b.begin(), b.end());
   }
 
  private:
@@ -170,6 +181,13 @@ class WireReader {
     std::string s(reinterpret_cast<const char*>(data_ + pos_), count);
     pos_ += count;
     return s;
+  }
+  /// Reads a length-prefixed raw byte blob written by WireWriter::blob.
+  std::vector<std::uint8_t> blob() {
+    const std::uint64_t count = checked_count(1);
+    std::vector<std::uint8_t> b(data_ + pos_, data_ + pos_ + count);
+    pos_ += count;
+    return b;
   }
 
  private:

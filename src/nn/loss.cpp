@@ -38,4 +38,29 @@ LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& l
   return out;
 }
 
+LossResult sigmoid_bce(const Tensor& logits, const std::vector<int>& labels) {
+  sp::check(logits.ndim() == 2 && logits.dim(1) == 1,
+            "sigmoid_bce: logits must be [B, 1]");
+  const int batch = logits.dim(0);
+  sp::check(static_cast<int>(labels.size()) == batch,
+            "sigmoid_bce: label count mismatch");
+
+  LossResult out;
+  out.grad = Tensor({batch, 1});
+  double total = 0.0;
+  for (int n = 0; n < batch; ++n) {
+    const int y = labels[static_cast<std::size_t>(n)];
+    sp::check(y == 0 || y == 1, "sigmoid_bce: labels must be 0/1");
+    const double z = static_cast<double>(logits.at(n, 0));
+    if ((z >= 0.0) == (y == 1)) ++out.correct;
+    // Numerically stable softplus: log(1 + e^-|z|) + max(z, 0) terms.
+    const double softplus = std::log1p(std::exp(-std::abs(z))) + std::max(z, 0.0);
+    total += softplus - static_cast<double>(y) * z;  // = -[y log p + (1-y) log(1-p)]
+    const double p = 1.0 / (1.0 + std::exp(-z));
+    out.grad.at(n, 0) = static_cast<float>((p - static_cast<double>(y)) / batch);
+  }
+  out.loss = total / batch;
+  return out;
+}
+
 }  // namespace sp::nn

@@ -16,4 +16,11 @@ struct LossResult {
 /// Mean softmax cross-entropy over logits [B, C] and integer labels.
 LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels);
 
+/// Mean binary cross-entropy with the sigmoid folded in, over single-logit
+/// outputs [B, 1] and 0/1 labels: grad = (sigma(z) - y) / B — the exact-
+/// sigmoid plaintext oracle the encrypted trainer's parity tests lean on
+/// (the encrypted path replaces sigma with its minimax PAF; this one never
+/// does). `correct` counts sign agreements (z >= 0 predicts class 1).
+LossResult sigmoid_bce(const Tensor& logits, const std::vector<int>& labels);
+
 }  // namespace sp::nn

@@ -251,6 +251,11 @@ void AsyncExecutor::evaluate_group(std::vector<Pending> group, FlushReason reaso
 
     // Chained extraction: response b is the packed output rotated left b
     // times by s — again only the step +s key, whatever the group size.
+    // Responses are staged before any callback fires so the stats counters
+    // can be bumped first: a caller that has observed the group's last
+    // outcome must also observe the counters it implies.
+    std::vector<fhe::Ciphertext> responses;
+    responses.reserve(k);
     fhe::Ciphertext slice = std::move(out);
     for (std::size_t b = 0; b < k; ++b) {
       if (b > 0) slice = ev.rotate(slice, s, *gk);
@@ -259,21 +264,30 @@ void AsyncExecutor::evaluate_group(std::vector<Pending> group, FlushReason reaso
         ev.multiply_plain_inplace(resp, *mask);
         ev.rescale_inplace(resp);
       }
+      responses.push_back(std::move(resp));
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stats_.completed += k;
+    }
+    for (std::size_t b = 0; b < k; ++b) {
       Outcome o;
       o.kind = Outcome::Kind::Completed;
       o.id = group[b].id;
       o.client_id = session.client_id();
-      o.result = std::move(resp);
+      o.result = std::move(responses[b]);
       o.batch_size = static_cast<int>(k);
       o.flush = reason;
       on_outcome_(std::move(o));
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    stats_.completed += k;
   } catch (const std::exception& e) {
     // The whole group shares one packed ciphertext, so a failure loses every
     // request in it — each id gets an explicit Failed outcome (the serving
     // layer NACKs them; nothing is dropped silently).
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stats_.failed += ids.size();
+    }
     for (const std::uint64_t id : ids) {
       Outcome o;
       o.kind = Outcome::Kind::Failed;
@@ -284,8 +298,6 @@ void AsyncExecutor::evaluate_group(std::vector<Pending> group, FlushReason reaso
       o.flush = reason;
       on_outcome_(std::move(o));
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    stats_.failed += ids.size();
   }
 }
 

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "data/synthetic.h"
+#include "fhe/enc_matvec.h"
+#include "smartpaf/fhe_deploy.h"
+#include "train/plan.h"
+
+namespace sp::train {
+
+/// One plaintext mini-batch: row-major batch x features design block plus
+/// 0/1 labels. Produced client-side; the server only ever sees the
+/// EncryptedBatch packed from it.
+struct MiniBatch {
+  std::vector<double> x;  ///< row-major batch x features
+  std::vector<int> y;     ///< 0/1, one per row
+};
+
+/// Splits a design matrix into consecutive full mini-batches of `batch`
+/// rows (a trailing partial batch is dropped — the level schedule assumes a
+/// fixed B, which 1/B is folded against). Training iterates the result
+/// cyclically: step t uses batches[t % size], in the encrypted run, the
+/// plaintext mirror and the nn::optim oracle alike, so parity comparisons
+/// see identical data.
+std::vector<MiniBatch> make_batches(const data::DesignMatrix& dm, int batch);
+
+/// Client-side encrypted packing of one mini-batch under a TrainPlan: the
+/// three ciphertext groups one training step consumes.
+///
+/// Constant folding happens here and in the plan's PAF, not homomorphically:
+///  - labels are packed as y/B (the 1/B of the mean gradient; the sigmoid
+///    coefficients carry the matching 1/B),
+///  - the gradient matrix is packed as lr * X^T for SgdMomentum (the update
+///    then needs no extra scalar multiplication — and no extra level) and as
+///    the raw X^T for Adam (whose lr folds into the per-step invsqrt
+///    coefficients instead).
+/// X^T's extended diagonals are the forward steps negated, so the client
+/// packs them directly at encrypt time — the server never repacks.
+struct EncryptedBatch {
+  fhe::EncDiagMatVec forward;   ///< X     (B x d) under plan.forward
+  fhe::EncDiagMatVec gradient;  ///< (lr*) X^T (d x B) under plan.transpose
+  fhe::Ciphertext labels;       ///< Enc(y / B) in slots [0, B)
+
+  static EncryptedBatch pack(const MiniBatch& mb, const TrainPlan& plan,
+                             smartpaf::FheRuntime& rt);
+};
+
+}  // namespace sp::train

@@ -1,0 +1,83 @@
+#include "train/checkpoint.h"
+
+#include "common/check.h"
+#include "io/serialize.h"
+
+namespace sp::train {
+
+std::vector<std::uint8_t> serialize_training_state(const TrainingState& state) {
+  sp::check(!state.weights.parts.empty() &&
+                state.weights.parts.front().context() != nullptr,
+            "serialize_training_state: state holds no weights");
+  const auto& params = state.weights.parts.front().context()->params();
+
+  io::WireWriter w;
+  io::write_header(w, io::BlobKind::TrainingState, io::params_fingerprint(params));
+
+  const TrainConfig& cfg = state.config;
+  w.u8(cfg.optimizer == Optimizer::Adam ? 1 : 0);
+  w.i32(cfg.features);
+  w.i32(cfg.batch);
+  w.i32(cfg.iterations);
+  w.f64(cfg.lr);
+  w.f64(cfg.momentum);
+  w.f64(cfg.beta1);
+  w.f64(cfg.beta2);
+  w.f64(cfg.adam_eps);
+  w.i32(cfg.sigmoid_degree);
+  w.f64(cfg.sigmoid_range);
+  w.i32(cfg.invsqrt_degree);
+  w.f64(cfg.vhat_max);
+  w.i32(cfg.matvec_n1);
+
+  w.u32(state.iteration);
+  std::uint8_t flags = 0;
+  if (state.velocity) flags |= 1u;
+  if (state.m) flags |= 2u;
+  if (state.v) flags |= 4u;
+  w.u8(flags);
+
+  w.blob(io::serialize(state.weights));
+  if (state.velocity) w.blob(io::serialize(*state.velocity));
+  if (state.m) w.blob(io::serialize(*state.m));
+  if (state.v) w.blob(io::serialize(*state.v));
+  return w.take();
+}
+
+TrainingState deserialize_training_state(const std::vector<std::uint8_t>& bytes,
+                                         const fhe::CkksContext& ctx) {
+  io::WireReader r(bytes);
+  io::expect_header(r, io::BlobKind::TrainingState,
+                    io::params_fingerprint(ctx.params()));
+
+  TrainingState st;
+  const std::uint8_t opt = r.u8();
+  sp::check(opt <= 1, "wire: malformed TrainingState optimizer tag");
+  st.config.optimizer = opt == 1 ? Optimizer::Adam : Optimizer::SgdMomentum;
+  st.config.features = r.i32();
+  st.config.batch = r.i32();
+  st.config.iterations = r.i32();
+  st.config.lr = r.f64();
+  st.config.momentum = r.f64();
+  st.config.beta1 = r.f64();
+  st.config.beta2 = r.f64();
+  st.config.adam_eps = r.f64();
+  st.config.sigmoid_degree = r.i32();
+  st.config.sigmoid_range = r.f64();
+  st.config.invsqrt_degree = r.i32();
+  st.config.vhat_max = r.f64();
+  st.config.matvec_n1 = r.i32();
+
+  st.iteration = r.u32();
+  const std::uint8_t flags = r.u8();
+  sp::check(flags <= 7, "wire: malformed TrainingState flags");
+
+  st.weights = io::deserialize_ciphertext(r.blob(), ctx);
+  if (flags & 1u) st.velocity = io::deserialize_ciphertext(r.blob(), ctx);
+  if (flags & 2u) st.m = io::deserialize_ciphertext(r.blob(), ctx);
+  if (flags & 4u) st.v = io::deserialize_ciphertext(r.blob(), ctx);
+  r.expect_done();
+  return st;
+}
+
+}  // namespace sp::train

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "train/logreg.h"
+
+namespace sp::train {
+
+/// TrainingState <-> io::BlobKind::TrainingState (wire v2).
+///
+/// Layout after the standard 16-byte sp::io header (the fingerprint is the
+/// CKKS params digest, so a checkpoint only restores against the chain it
+/// was trained on):
+///
+///   config   u8 optimizer | i32 features, batch, iterations
+///            | f64 lr, momentum, beta1, beta2, adam_eps
+///            | i32 sigmoid_degree | f64 sigmoid_range
+///            | i32 invsqrt_degree | f64 vhat_max | i32 matvec_n1
+///   progress u32 iteration
+///   flags    u8 (bit0 velocity, bit1 m, bit2 v)
+///   blobs    length-prefixed nested serialize(Ciphertext) blobs: weights,
+///            then each optional state ciphertext its flag announces, in
+///            flag-bit order
+///
+/// Bit-identical round trip is pinned in tests/test_train.cpp (the resume
+/// path must reproduce the exact run, so even re-serialization after a
+/// restore must produce the same bytes).
+std::vector<std::uint8_t> serialize_training_state(const TrainingState& state);
+
+TrainingState deserialize_training_state(const std::vector<std::uint8_t>& bytes,
+                                         const fhe::CkksContext& ctx);
+
+}  // namespace sp::train

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "train/batch.h"
+#include "train/plan.h"
+
+namespace sp::train {
+
+/// Everything an encrypted training run needs to resume: the config it was
+/// planned under, the step counter, and the ENCRYPTED model + optimizer
+/// state. The server checkpoints this without ever seeing a weight —
+/// serialized as io::BlobKind::TrainingState (train/checkpoint.h).
+struct TrainingState {
+  TrainConfig config;
+  std::uint32_t iteration = 0;
+  fhe::Ciphertext weights;                  ///< w, slots [0, features)
+  std::optional<fhe::Ciphertext> velocity;  ///< SgdMomentum: lr * momentum sum
+  std::optional<fhe::Ciphertext> m;         ///< Adam first moment (raw)
+  std::optional<fhe::Ciphertext> v;         ///< Adam second moment, stored
+                                            ///< bias-corrected (v / (1-beta2^t))
+                                            ///< so its fold stays encodable
+};
+
+/// Mini-batch logistic regression where data, weights, gradients and
+/// optimizer state are all CKKS ciphertexts end to end — no bootstrapping,
+/// so TrainPlan's pre-flight is what guarantees the level budget holds.
+///
+/// One step() runs z = X w (EncDiagMatVec), p = sigma(z) via the plan's
+/// minimax sigmoid with 1/B folded into its coefficients, err = p - y/B,
+/// grad = (lr*) X^T err (pre-transposed diagonals), then the optimizer
+/// update — SgdMomentum exactly as nn::Sgd computes it (velocity tracked
+/// pre-multiplied by lr, which the gradient matrix already carries);
+/// Adam with the division-and-root replaced by the plan's inverse-sqrt PAF
+/// and lr + both bias corrections folded into its coefficients per step.
+/// The one contract nn::Adam does not share: eps sits INSIDE the root
+/// (1/sqrt(vhat + eps)), the analytic-at-zero form a polynomial can fit.
+///
+/// Cross-path operands (labels vs sigmoid output, moments vs gradient,
+/// weights vs update) are realigned to one exact (level, scale) pair per
+/// add via fhe::scaled_to, so every homomorphic addition is scale-exact.
+class EncryptedLogReg {
+ public:
+  /// @brief Fresh run: w (and the optimizer moments) start as Enc(0).
+  /// Fetches rotation keys for plan.rotation_steps() once, up front.
+  EncryptedLogReg(const TrainPlan& plan, smartpaf::FheRuntime& rt);
+
+  /// @brief Resumes from a checkpoint. The state's config must equal the
+  /// plan's (the level schedule and folded constants depend on it); the
+  /// remaining chain must still cover the steps ahead.
+  EncryptedLogReg(const TrainPlan& plan, smartpaf::FheRuntime& rt,
+                  TrainingState state);
+
+  const TrainPlan& plan() const { return plan_; }
+  std::uint32_t iteration() const { return state_.iteration; }
+
+  /// @brief The resumable snapshot (checkpoint it with
+  /// train::serialize_training_state).
+  const TrainingState& state() const { return state_; }
+
+  /// @brief One encrypted optimizer step on `batch`; consumes exactly
+  /// plan().levels_per_step levels.
+  void step(const EncryptedBatch& batch);
+
+  /// @brief Decrypted weight vector (features entries); requires the
+  /// runtime's secret key — the client-side end of the protocol.
+  std::vector<double> weights() const;
+
+ private:
+  void step_sgd(const EncryptedBatch& batch, const fhe::Ciphertext& grad_lr);
+  void step_adam(const EncryptedBatch& batch, const fhe::Ciphertext& grad);
+
+  TrainPlan plan_;
+  smartpaf::FheRuntime* rt_;
+  std::shared_ptr<const fhe::GaloisKeys> gk_;
+  approx::Polynomial sigmoid_over_b_;  ///< plan sigmoid with 1/B folded in
+  TrainingState state_;
+};
+
+/// Decision accuracy of a plaintext weight vector on a design matrix
+/// (bias-free linear scorer: predict 1 when x . w >= 0).
+double binary_accuracy(const std::vector<double>& w, const data::DesignMatrix& dm);
+
+}  // namespace sp::train

@@ -1,0 +1,182 @@
+#include "train/reference.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "nn/optim.h"
+
+namespace sp::train {
+namespace {
+
+/// z = X w for one row-major batch block.
+std::vector<double> matvec(const std::vector<double>& x, int rows, int cols,
+                           const std::vector<double>& w) {
+  std::vector<double> z(static_cast<std::size_t>(rows), 0.0);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < cols; ++j)
+      z[static_cast<std::size_t>(i)] +=
+          x[static_cast<std::size_t>(i) * cols + j] * w[static_cast<std::size_t>(j)];
+  return z;
+}
+
+/// g = X^T err.
+std::vector<double> matvec_t(const std::vector<double>& x, int rows, int cols,
+                             const std::vector<double>& err) {
+  std::vector<double> g(static_cast<std::size_t>(cols), 0.0);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < cols; ++j)
+      g[static_cast<std::size_t>(j)] +=
+          x[static_cast<std::size_t>(i) * cols + j] * err[static_cast<std::size_t>(i)];
+  return g;
+}
+
+}  // namespace
+
+ReferenceRun reference_paf_run(const TrainPlan& plan,
+                               const std::vector<MiniBatch>& batches) {
+  sp::check(!batches.empty(), "reference_paf_run: no batches");
+  const TrainConfig& cfg = plan.config;
+  const int b = cfg.batch, d = cfg.features;
+
+  std::vector<double> w(static_cast<std::size_t>(d), 0.0);
+  std::vector<double> u(static_cast<std::size_t>(d), 0.0);  // SGD: lr * velocity
+  std::vector<double> m(static_cast<std::size_t>(d), 0.0);  // Adam moments
+  std::vector<double> v(static_cast<std::size_t>(d), 0.0);
+
+  ReferenceRun run;
+  for (int t = 0; t < cfg.iterations; ++t) {
+    const MiniBatch& mb = batches[static_cast<std::size_t>(t) % batches.size()];
+
+    const std::vector<double> z = matvec(mb.x, b, d, w);
+    std::vector<double> err(static_cast<std::size_t>(b));
+    for (int i = 0; i < b; ++i) {
+      const double zi = z[static_cast<std::size_t>(i)];
+      if (std::abs(zi) > run.max_abs_z) {
+        run.max_abs_z = std::abs(zi);
+        run.max_abs_z_iter = t;
+      }
+      // (p - y)/B exactly as the ciphertext path folds it: the sigmoid
+      // coefficients carry 1/B and the labels are packed as y/B.
+      err[static_cast<std::size_t>(i)] =
+          plan.sigmoid.poly(zi) / b - static_cast<double>(mb.y[static_cast<std::size_t>(i)]) / b;
+    }
+
+    if (cfg.optimizer == Optimizer::SgdMomentum) {
+      // Gradient matrix is packed as lr * X^T; u tracks lr * nn::Sgd's vel.
+      const std::vector<double> glr = matvec_t(mb.x, b, d, err);
+      for (int j = 0; j < d; ++j) {
+        u[static_cast<std::size_t>(j)] =
+            cfg.momentum * u[static_cast<std::size_t>(j)] +
+            cfg.lr * glr[static_cast<std::size_t>(j)];
+        w[static_cast<std::size_t>(j)] -= u[static_cast<std::size_t>(j)];
+      }
+    } else {
+      const std::vector<double> g = matvec_t(mb.x, b, d, err);
+      const double bc1 = 1.0 - std::pow(cfg.beta1, static_cast<double>(t) + 1.0);
+      const double bc2 = 1.0 - std::pow(cfg.beta2, static_cast<double>(t) + 1.0);
+      const double bc2_prev = 1.0 - std::pow(cfg.beta2, static_cast<double>(t));
+      for (int j = 0; j < d; ++j) {
+        const double gj = g[static_cast<std::size_t>(j)];
+        m[static_cast<std::size_t>(j)] =
+            cfg.beta1 * m[static_cast<std::size_t>(j)] + (1.0 - cfg.beta1) * gj;
+        // v holds the BIAS-CORRECTED second moment (vhat), exactly as the
+        // ciphertext path blends it — the 1/bc2 fold lives in these O(1)
+        // scalars, not in the PAF coefficients (where 1/bc2^k explodes).
+        v[static_cast<std::size_t>(j)] =
+            (1.0 - cfg.beta2) / bc2 * gj * gj +
+            cfg.beta2 * bc2_prev / bc2 * v[static_cast<std::size_t>(j)];
+        // vhat is the invsqrt fit's own variable, so the range guard
+        // watches it directly.
+        if (v[static_cast<std::size_t>(j)] > run.max_v) {
+          run.max_v = v[static_cast<std::size_t>(j)];
+          run.max_v_iter = t;
+        }
+        // The folded denominator PAF, exactly as the ciphertext evaluates
+        // it: sum_k c_k * (lr/bc1) * vhat^k, times m.
+        double denom = 0.0;
+        const auto& c = plan.invsqrt.poly.coeffs();
+        double vk = 1.0;
+        for (std::size_t k = 0; k < c.size(); ++k) {
+          denom += c[k] * (cfg.lr / bc1) * vk;
+          vk *= v[static_cast<std::size_t>(j)];
+        }
+        w[static_cast<std::size_t>(j)] -= m[static_cast<std::size_t>(j)] * denom;
+      }
+    }
+    run.weights_per_iter.push_back(w);
+  }
+  return run;
+}
+
+OracleRun optim_oracle_run(const TrainPlan& plan,
+                           const std::vector<MiniBatch>& batches) {
+  sp::check(!batches.empty(), "optim_oracle_run: no batches");
+  const TrainConfig& cfg = plan.config;
+  const int b = cfg.batch, d = cfg.features;
+
+  nn::Param p;
+  p.name = "logreg.w";
+  p.value = nn::Tensor({d});
+  p.grad = nn::Tensor({d});
+
+  nn::HyperParams hp;
+  hp.lr = cfg.lr;
+  hp.weight_decay = 0.0;
+  hp.beta1 = cfg.beta1;
+  hp.beta2 = cfg.beta2;
+  nn::Sgd sgd({&p}, hp, hp, cfg.momentum);
+  nn::Adam adam({&p}, hp, hp);
+
+  OracleRun run;
+  for (int t = 0; t < cfg.iterations; ++t) {
+    const MiniBatch& mb = batches[static_cast<std::size_t>(t) % batches.size()];
+    std::vector<double> w(static_cast<std::size_t>(d));
+    for (int j = 0; j < d; ++j) w[static_cast<std::size_t>(j)] = p.value[static_cast<std::size_t>(j)];
+    const std::vector<double> z = matvec(mb.x, b, d, w);
+    std::vector<double> err(static_cast<std::size_t>(b));
+    for (int i = 0; i < b; ++i)
+      err[static_cast<std::size_t>(i)] =
+          (1.0 / (1.0 + std::exp(-z[static_cast<std::size_t>(i)])) -
+           mb.y[static_cast<std::size_t>(i)]) /
+          b;
+    const std::vector<double> g = matvec_t(mb.x, b, d, err);
+    for (int j = 0; j < d; ++j)
+      p.grad[static_cast<std::size_t>(j)] = static_cast<float>(g[static_cast<std::size_t>(j)]);
+    if (cfg.optimizer == Optimizer::SgdMomentum) {
+      sgd.step();
+      sgd.zero_grad();
+    } else {
+      adam.step();
+      adam.zero_grad();
+    }
+    std::vector<double> snap(static_cast<std::size_t>(d));
+    for (int j = 0; j < d; ++j)
+      snap[static_cast<std::size_t>(j)] = p.value[static_cast<std::size_t>(j)];
+    run.weights_per_iter.push_back(std::move(snap));
+  }
+  return run;
+}
+
+void check_sigmoid_range(const TrainPlan& plan,
+                         const std::vector<MiniBatch>& batches) {
+  const ReferenceRun run = reference_paf_run(plan, batches);
+  if (run.max_abs_z > plan.sigmoid.range) {
+    std::ostringstream os;
+    os << "train: |z| reaches " << run.max_abs_z << " at iteration "
+       << run.max_abs_z_iter << ", outside the sigmoid PAF's fitted [-"
+       << plan.sigmoid.range << ", " << plan.sigmoid.range
+       << "]; refit with a wider sigmoid_range or lower the learning rate";
+    throw sp::Error(os.str());
+  }
+  if (plan.config.optimizer == Optimizer::Adam && run.max_v > plan.invsqrt.vmax) {
+    std::ostringstream os;
+    os << "train: the Adam second moment reaches " << run.max_v
+       << " at iteration " << run.max_v_iter
+       << ", outside the invsqrt PAF's fitted [0, " << plan.invsqrt.vmax
+       << "]; refit with a larger vhat_max";
+    throw sp::Error(os.str());
+  }
+}
+
+}  // namespace sp::train

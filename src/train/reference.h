@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "train/batch.h"
+#include "train/plan.h"
+
+namespace sp::train {
+
+/// Pure-double mirror of the encrypted training loop: same PAF polynomials,
+/// same folded constants, same update algebra — only the CKKS noise is
+/// missing. Per-iteration parity between this and EncryptedLogReg is the
+/// tight bound tests pin (the nn::optim oracle differs by the PAF error and
+/// float32 state, so it only bounds end-to-end accuracy).
+struct ReferenceRun {
+  std::vector<std::vector<double>> weights_per_iter;  ///< after each step
+  double max_abs_z = 0.0;  ///< largest |X w| fed to the sigmoid PAF
+  int max_abs_z_iter = 0;  ///< iteration (0-based) where it happened
+  double max_v = 0.0;      ///< Adam: largest bias-corrected vhat seen
+  int max_v_iter = 0;
+};
+
+/// Runs `plan.config.iterations` steps of the PAF mirror, consuming
+/// `batches` cyclically (step t uses batches[t % size] — the same order the
+/// encrypted run and the oracle use).
+ReferenceRun reference_paf_run(const TrainPlan& plan,
+                               const std::vector<MiniBatch>& batches);
+
+/// The same loop with the TRUE sigmoid and nn::optim's float32 updates —
+/// the "what would plaintext training do" oracle the 2%-accuracy gate
+/// compares against. Adam here is nn::Adam verbatim, including its
+/// eps-outside-the-root denominator.
+struct OracleRun {
+  std::vector<std::vector<double>> weights_per_iter;
+};
+
+OracleRun optim_oracle_run(const TrainPlan& plan,
+                           const std::vector<MiniBatch>& batches);
+
+/// Pre-flight range guard, run client-side on the plaintext mirror before
+/// any ciphertext is packed: throws sp::Error naming the iteration and the
+/// offending value when any |z| leaves the sigmoid's fitted [-range, range]
+/// (where a low-degree minimax fit diverges fast — arXiv:1902.01870) or any
+/// Adam second moment leaves the invsqrt fit's [0, vhat_max].
+void check_sigmoid_range(const TrainPlan& plan,
+                         const std::vector<MiniBatch>& batches);
+
+}  // namespace sp::train

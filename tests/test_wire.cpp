@@ -7,6 +7,7 @@
 // deserialized blobs evaluates a plan bit-identically to the key owner.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <sstream>
@@ -19,6 +20,7 @@
 #include "smartpaf/fhe_deploy.h"
 #include "smartpaf/pipeline.h"
 #include "smartpaf/pipeline_planner.h"
+#include "train/checkpoint.h"
 
 namespace {
 
@@ -89,7 +91,7 @@ std::unique_ptr<smartpaf::FheRuntime> WireTest::rt_;
 // bump sp::io::kVersion and regenerate. Layout: docs/WIRE.md.
 const std::vector<std::uint8_t> kGoldenParamsBlob = {
     0x53, 0x50, 0x57, 0x42,                          // magic "SPWB"
-    0x01, 0x00,                                      // version 1
+    0x02, 0x00,                                      // version 2
     0x01, 0x00,                                      // kind CkksParams
     0x3a, 0x78, 0x92, 0xe6, 0xb8, 0x9b, 0x61, 0x5f,  // params fingerprint
     0x00, 0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // poly_degree 2048
@@ -117,6 +119,53 @@ TEST(WireGolden, GoldenBlobDeserializes) {
   EXPECT_EQ(params.special_bits, 60);
   EXPECT_EQ(params.scale, std::ldexp(1.0, 40));
   EXPECT_NEAR(params.noise_stddev, 3.2, 1e-12);
+}
+
+// The fixed-layout prologue (header + config + progress + flags) of a
+// TrainingState checkpoint for the default TrainConfig at iteration 2 with a
+// velocity ciphertext — everything before the first nested ciphertext blob,
+// whose bytes depend on encryption randomness and so cannot be pinned.
+// Same contract as the params pin above: any layout drift breaks this test,
+// which is the signal to bump sp::io::kVersion and regenerate.
+const std::vector<std::uint8_t> kGoldenTrainingStatePrologue = {
+    0x53, 0x50, 0x57, 0x42,                          // magic "SPWB"
+    0x02, 0x00,                                      // version 2
+    0x0b, 0x00,                                      // kind TrainingState (11)
+    0x3a, 0x78, 0x92, 0xe6, 0xb8, 0x9b, 0x61, 0x5f,  // params fingerprint
+    0x00,                                            // optimizer SgdMomentum
+    0x04, 0x00, 0x00, 0x00,                          // features 4
+    0x08, 0x00, 0x00, 0x00,                          // batch 8
+    0x03, 0x00, 0x00, 0x00,                          // iterations 3
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xd0, 0x3f,  // lr 0.25
+    0xcd, 0xcc, 0xcc, 0xcc, 0xcc, 0xcc, 0xec, 0x3f,  // momentum 0.9
+    0xcd, 0xcc, 0xcc, 0xcc, 0xcc, 0xcc, 0xec, 0x3f,  // beta1 0.9
+    0x2b, 0x87, 0x16, 0xd9, 0xce, 0xf7, 0xef, 0x3f,  // beta2 0.999
+    0x9a, 0x99, 0x99, 0x99, 0x99, 0x99, 0xb9, 0x3f,  // adam_eps 0.1
+    0x03, 0x00, 0x00, 0x00,                          // sigmoid_degree 3
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x20, 0x40,  // sigmoid_range 8.0
+    0x05, 0x00, 0x00, 0x00,                          // invsqrt_degree 5
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf0, 0x3f,  // vhat_max 1.0
+    0x00, 0x00, 0x00, 0x00,                          // matvec_n1 0 (auto)
+    0x02, 0x00, 0x00, 0x00,                          // iteration 2
+    0x01,                                            // flags: velocity only
+};
+
+TEST_F(WireTest, TrainingStatePrologueIsByteStable) {
+  train::TrainingState st;
+  st.config = train::TrainConfig{};
+  st.iteration = 2;
+  st.weights = rt_->encrypt({0.5, -0.25, 0.125, 0.0});
+  st.velocity = rt_->encrypt({0.0, 0.0, 0.0, 0.0});
+  const std::vector<std::uint8_t> bytes = train::serialize_training_state(st);
+  ASSERT_GT(bytes.size(), kGoldenTrainingStatePrologue.size());
+  EXPECT_TRUE(std::equal(kGoldenTrainingStatePrologue.begin(),
+                         kGoldenTrainingStatePrologue.end(), bytes.begin()))
+      << "TrainingState prologue layout drifted — bump sp::io::kVersion";
+
+  // And the whole blob round-trips bit-identically.
+  const train::TrainingState back =
+      train::deserialize_training_state(bytes, rt_->ctx());
+  EXPECT_EQ(train::serialize_training_state(back), bytes);
 }
 
 // --------------------------------------------------------------- primitives --

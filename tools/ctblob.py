@@ -12,14 +12,14 @@ Usage:
   tools/ctblob.py BLOB [BLOB ...]
 
 Exit status: 0 if every file parses as a well-formed header, 1 otherwise.
-The layout contract lives in docs/WIRE.md; this script tracks wire version 1.
+The layout contract lives in docs/WIRE.md; this script tracks wire version 2.
 """
 
 import struct
 import sys
 
 MAGIC = 0x42575053  # "SPWB" little-endian
-SUPPORTED_VERSION = 1
+SUPPORTED_VERSION = 2
 
 KIND_NAMES = {
     1: "CkksParams",
@@ -32,6 +32,7 @@ KIND_NAMES = {
     8: "GaloisKeys",
     9: "Plan",
     10: "RotationSteps",
+    11: "TrainingState",
 }
 
 
@@ -71,6 +72,30 @@ def inspect(path):
             ring_n, q_count = struct.unpack_from("<QI", data, 20)
             print(f"  ring n       {ring_n}")
             print(f"  q_count      {q_count}")
+    elif kind == 11 and len(data) >= 102:
+        # Fixed-layout checkpoint prologue (see train/checkpoint.h).
+        optimizer, = struct.unpack_from("<B", data, 16)
+        features, batch, iterations = struct.unpack_from("<iii", data, 17)
+        lr, momentum, beta1, beta2, adam_eps = struct.unpack_from("<5d", data, 29)
+        sigmoid_degree, = struct.unpack_from("<i", data, 69)
+        sigmoid_range, = struct.unpack_from("<d", data, 73)
+        invsqrt_degree, = struct.unpack_from("<i", data, 81)
+        vhat_max, = struct.unpack_from("<d", data, 85)
+        matvec_n1, = struct.unpack_from("<i", data, 93)
+        iteration, = struct.unpack_from("<I", data, 97)
+        flags, = struct.unpack_from("<B", data, 101)
+        state = [name for bit, name in ((1, "velocity"), (2, "m"), (4, "v"))
+                 if flags & bit]
+        print(f"  optimizer    {'Adam' if optimizer == 1 else 'SgdMomentum'}")
+        print(f"  shape        {batch} x {features}, {iterations} iterations planned")
+        print(f"  lr           {lr:g}  (momentum {momentum:g}, "
+              f"beta1 {beta1:g}, beta2 {beta2:g}, eps {adam_eps:g})")
+        print(f"  sigmoid      deg {sigmoid_degree} on [-{sigmoid_range:g}, "
+              f"{sigmoid_range:g}]")
+        print(f"  invsqrt      deg {invsqrt_degree} on [0, {vhat_max:g}]")
+        print(f"  matvec_n1    {matvec_n1 if matvec_n1 else 'auto'}")
+        print(f"  iteration    {iteration}")
+        print(f"  state cts    weights" + "".join(f", {s}" for s in state))
 
 
 def main(argv):
