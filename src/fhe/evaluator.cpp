@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "fhe/simd/simd.h"
 
 namespace sp::fhe {
 namespace {
@@ -108,17 +109,41 @@ Ciphertext Evaluator::multiply(const Ciphertext& a, const Ciphertext& b) const {
   sp::check(a.size() == 2 && b.size() == 2, "multiply: operands must have 2 parts");
   sp::check(a.q_count() == b.q_count(), "multiply: level mismatch");
 
+  sp::check(a.parts[0].is_ntt() && b.parts[0].is_ntt(), "multiply: requires NTT form");
+
   Ciphertext out;
   out.scale = a.scale * b.scale;
   RnsPoly p0 = a.parts[0];
-  p0.mul_inplace(b.parts[0]);
   RnsPoly cross = a.parts[0];
-  cross.mul_inplace(b.parts[1]);
   RnsPoly cross2 = a.parts[1];
-  cross2.mul_inplace(b.parts[0]);
-  cross.add_inplace(cross2);
   RnsPoly p2 = a.parts[1];
-  p2.mul_inplace(b.parts[1]);
+  // The four cross-term products are independent; dispatching their
+  // (product x row x tile) units in one parallel region keeps the pool fed
+  // even at short chain lengths, where per-row parallelism alone stalls.
+  struct Prod {
+    RnsPoly* dst;
+    const RnsPoly* src;
+  };
+  const Prod prods[4] = {{&p0, &b.parts[0]},
+                         {&cross, &b.parts[1]},
+                         {&cross2, &b.parts[0]},
+                         {&p2, &b.parts[1]}};
+  const std::size_t rows = static_cast<std::size_t>(p0.row_count());
+  const std::size_t n = p0.n();
+  constexpr std::size_t kTile = 4096;
+  const std::size_t tiles = n >= kTile ? n / kTile : 1;
+  const std::size_t len = n / tiles;
+  const simd::Kernels& k = simd::kernels();
+  sp::parallel_for(0, 4 * rows * tiles, [&](std::size_t u) {
+    const Prod& p = prods[u / (rows * tiles)];
+    const std::size_t rem = u % (rows * tiles);
+    const int r = static_cast<int>(rem / tiles);
+    const std::size_t off = (rem % tiles) * len;
+    const Modulus& m = p.dst->row_mod(r);
+    k.mul_mod(p.dst->row(r) + off, p.src->row(r) + off, len, m.value(), m.ratio_hi(),
+              m.ratio_lo());
+  });
+  cross.add_inplace(cross2);
   out.parts.push_back(std::move(p0));
   out.parts.push_back(std::move(cross));
   out.parts.push_back(std::move(p2));
@@ -134,29 +159,34 @@ std::vector<RnsPoly> Evaluator::decompose_digits(const RnsPoly& d_coeff) const {
   const std::size_t n = ctx_->n();
 
   std::vector<RnsPoly> digits(static_cast<std::size_t>(l));
-  // Digits are independent: lift + forward NTT per digit in parallel. The
-  // NTT tally happens inside the region, hence the atomic counters.
-  sp::parallel_for(0, static_cast<std::size_t>(l), [&](std::size_t di) {
-    const int i = static_cast<int>(di);
-    // Centered lift of the i-th residue row into the extended basis.
+  for (auto& digit : digits)
+    digit = RnsPoly(ctx_, l, /*with_special=*/true, /*ntt_form=*/false);
+  // Centered lift of digit i's residue row into the extended basis — every
+  // (digit, target row) pair is independent, so the lift parallelizes at
+  // l*(l+1) granularity instead of l.
+  sp::parallel_for(0, static_cast<std::size_t>(l * rows), [&](std::size_t u) {
+    const int i = static_cast<int>(u / static_cast<std::size_t>(rows));
+    const int t = static_cast<int>(u % static_cast<std::size_t>(rows));
     const u64 qi = ctx_->q(i).value();
-    RnsPoly digit(ctx_, l, /*with_special=*/true, /*ntt_form=*/false);
+    RnsPoly& digit = digits[static_cast<std::size_t>(i)];
     const u64* src = d_coeff.row(i);
-    for (int t = 0; t < rows; ++t) {
-      const Modulus& m = digit.row_mod(t);
-      u64* dst = digit.row(t);
-      for (std::size_t j = 0; j < n; ++j) {
-        const u64 x = src[j];
-        const std::int64_t centered =
-            x > qi / 2 ? static_cast<std::int64_t>(x) - static_cast<std::int64_t>(qi)
-                       : static_cast<std::int64_t>(x);
-        dst[j] = m.from_signed(centered);
-      }
+    const Modulus& m = digit.row_mod(t);
+    u64* dst = digit.row(t);
+    for (std::size_t j = 0; j < n; ++j) {
+      const u64 x = src[j];
+      const std::int64_t centered =
+          x > qi / 2 ? static_cast<std::int64_t>(x) - static_cast<std::int64_t>(qi)
+                     : static_cast<std::int64_t>(x);
+      dst[j] = m.from_signed(centered);
     }
-    digit.to_ntt();
-    counters.ntts_forward += static_cast<std::size_t>(rows);
-    digits[di] = std::move(digit);
   });
+  // All l*(l+1) forward NTTs go out as one batch, so sub-row splitting sees
+  // the full row set at once.
+  std::vector<RnsPoly*> ptrs;
+  ptrs.reserve(digits.size());
+  for (auto& digit : digits) ptrs.push_back(&digit);
+  RnsPoly::to_ntt_batch(ptrs);
+  counters.ntts_forward += static_cast<std::size_t>(l * rows);
   return digits;
 }
 
@@ -249,15 +279,21 @@ void Evaluator::rescale_inplace(Ciphertext& ct) const {
   const Modulus& q_last = ctx_->q(last);
   std::vector<u64> inv(static_cast<std::size_t>(last));
   for (int j = 0; j < last; ++j) inv[static_cast<std::size_t>(j)] = ctx_->q_inv_mod(last, j);
+  // Inverse and forward conversions of all parts are batched so the NTT
+  // scheduler sees parts x rows at once; the exact-division step between them
+  // parallelizes per row inside div_exact_rows.
+  std::vector<RnsPoly*> parts;
+  parts.reserve(ct.parts.size());
+  for (auto& part : ct.parts) parts.push_back(&part);
+  RnsPoly::from_ntt_batch(parts);
   for (auto& part : ct.parts) {
-    part.from_ntt();
     std::vector<u64> last_row(part.row(last), part.row(last) + part.n());
     part.drop_last_q();
     div_exact_rows(part, last_row.data(), q_last, inv);
-    part.to_ntt();
-    counters.ntts_inverse += static_cast<std::size_t>(last + 1);
-    counters.ntts_forward += static_cast<std::size_t>(last);
   }
+  RnsPoly::to_ntt_batch(parts);
+  counters.ntts_inverse += ct.parts.size() * static_cast<std::size_t>(last + 1);
+  counters.ntts_forward += ct.parts.size() * static_cast<std::size_t>(last);
   ct.scale /= static_cast<double>(q_last.value());
   ++counters.rescales;
 }
@@ -281,8 +317,7 @@ Ciphertext Evaluator::rotate(const Ciphertext& ct, int steps, const GaloisKeys& 
 
   RnsPoly c0 = ct.parts[0];
   RnsPoly c1 = ct.parts[1];
-  c0.from_ntt();
-  c1.from_ntt();
+  RnsPoly::from_ntt_batch({&c0, &c1});
   counters.ntts_inverse += static_cast<std::size_t>(c0.row_count() + c1.row_count());
   RnsPoly c0g = apply_galois(c0, g);
   RnsPoly c1g = apply_galois(c1, g);

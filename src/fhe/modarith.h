@@ -17,6 +17,11 @@ class Modulus {
 
   u64 value() const { return q_; }
 
+  // Barrett constant words, floor(2^128 / q) — consumed by the SIMD
+  // elementwise-multiply kernels, which inline the same reduction.
+  u64 ratio_hi() const { return ratio_hi_; }
+  u64 ratio_lo() const { return ratio_lo_; }
+
   /// Barrett reduction of a 128-bit value to [0, q).
   u64 reduce128(u128 x) const;
 

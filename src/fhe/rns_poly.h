@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/rng.h"
 #include "fhe/context.h"
 
@@ -10,6 +11,10 @@ namespace sp::fhe {
 /// Ring element of Z_Q[X]/(X^N + 1) in residue-number-system form: one row
 /// of N 64-bit residues per prime. The row set is the first `q_count` chain
 /// primes, optionally followed by the special key-switching prime.
+///
+/// Storage is a single contiguous 64-byte-aligned buffer (row i at offset
+/// i*N), so the SIMD kernels always see aligned row starts and whole-element
+/// batches stream without per-row pointer chasing.
 ///
 /// A flag tracks whether rows are in coefficient or NTT (evaluation) form;
 /// arithmetic helpers check form compatibility.
@@ -25,8 +30,10 @@ class RnsPoly {
   bool is_ntt() const { return ntt_; }
   std::size_t n() const { return ctx_->n(); }
 
-  u64* row(int i) { return rows_[static_cast<std::size_t>(i)].data(); }
-  const u64* row(int i) const { return rows_[static_cast<std::size_t>(i)].data(); }
+  u64* row(int i) { return data_.data() + static_cast<std::size_t>(i) * n(); }
+  const u64* row(int i) const {
+    return data_.data() + static_cast<std::size_t>(i) * n();
+  }
 
   /// Modulus / NTT tables owning row i (special prime for the final row).
   const Modulus& row_mod(int i) const;
@@ -36,6 +43,13 @@ class RnsPoly {
   void to_ntt();
   void from_ntt();
 
+  /// Converts many polynomials in one batched NTT dispatch: all rows of all
+  /// polys feed a single (row x sub-transform) parallel region, so short
+  /// chains still saturate the pool. Bit-identical to calling
+  /// to_ntt()/from_ntt() per poly. Skips null entries.
+  static void to_ntt_batch(const std::vector<RnsPoly*>& polys);
+  static void from_ntt_batch(const std::vector<RnsPoly*>& polys);
+
   // Pointwise arithmetic; operands must have identical row structure & form.
   void add_inplace(const RnsPoly& o);
   void sub_inplace(const RnsPoly& o);
@@ -43,6 +57,8 @@ class RnsPoly {
   void mul_inplace(const RnsPoly& o);  // requires NTT form
 
   /// Multiplies every row by `v` reduced per prime (v given as an integer).
+  /// Per-(v, prime) Shoup constants are memoized process-wide, so repeated
+  /// scaling by the same constant skips the 128-bit precompute division.
   void mul_scalar_inplace(u64 v);
 
   /// Removes the last chain prime row (rescale/mod-drop bookkeeping is done
@@ -68,7 +84,7 @@ class RnsPoly {
   int q_count_ = 0;
   bool with_special_ = false;
   bool ntt_ = false;
-  std::vector<std::vector<u64>> rows_;
+  sp::AlignedVec<u64> data_;  // row_count() * n() residues, 64-byte aligned
 };
 
 }  // namespace sp::fhe

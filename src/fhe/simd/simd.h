@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+
+#include "fhe/modarith.h"
+
+namespace sp::fhe::simd {
+
+/// Vectorized kernel tiers for the RNS hot loops. The active tier is probed
+/// once at startup (CPUID + the flags the build actually compiled), can be
+/// pinned down with `SMARTPAF_SIMD=scalar|avx2|avx512`, and switched at
+/// runtime by tests/benches with `set_tier`.
+///
+/// Hard contract: every tier computes bit-identical results to the scalar
+/// tier for every kernel. The kernels implement exactly the scalar lazy
+/// Harvey/Shoup/Barrett formulas — vector lanes change the schedule, never
+/// the arithmetic — so FHE outputs do not depend on the dispatch decision.
+enum class Tier : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Kernel table for one tier. All pointers are non-null in every published
+/// table. Ranges are contiguous; `n`/`len` may be any value (kernels handle
+/// non-multiple-of-lane tails with the scalar formula).
+struct Kernels {
+  // --- Elementwise over n residues (inputs fully reduced unless noted) ---
+  /// a[i] = a[i] + b[i] mod q.
+  void (*add_mod)(u64* a, const u64* b, std::size_t n, u64 q);
+  /// a[i] = a[i] - b[i] mod q.
+  void (*sub_mod)(u64* a, const u64* b, std::size_t n, u64 q);
+  /// a[i] = -a[i] mod q.
+  void (*neg_mod)(u64* a, std::size_t n, u64 q);
+  /// a[i] = a[i] * b[i] mod q, Barrett reduction of the 128-bit product with
+  /// the modulus' precomputed floor(2^128/q) = (ratio_hi, ratio_lo).
+  void (*mul_mod)(u64* a, const u64* b, std::size_t n, u64 q, u64 ratio_hi,
+                  u64 ratio_lo);
+  /// a[i] = a[i] * w mod q (fully reduced), Shoup constant-operand multiply.
+  /// a[i] may be any 64-bit value (lazy input allowed).
+  void (*mul_shoup)(u64* a, std::size_t n, u64 w, u64 w_shoup, u64 q);
+
+  // --- NTT butterflies (lazy Harvey / Gentleman-Sande) ---
+  /// Forward (Cooley-Tukey) butterflies over one twiddle: for i in [0, len):
+  ///   x' = reduce_2q(x) + w*y mod- q (lazy),  y' = reduce_2q(x) + 2q - w*y.
+  /// Inputs < 4q, outputs < 4q.
+  void (*fwd_butterfly)(u64* x, u64* y, std::size_t len, u64 w, u64 w_shoup,
+                        u64 q);
+  /// Inverse (Gentleman-Sande) butterflies: x' = reduce_2q(x+y),
+  /// y' = w*(x + 2q - y) lazy. Inputs < 2q, outputs < 2q.
+  void (*inv_butterfly)(u64* x, u64* y, std::size_t len, u64 w, u64 w_shoup,
+                        u64 q);
+  /// One forward NTT stage over `blocks` consecutive blocks of 2t elements
+  /// starting at `a`; block b uses twiddle (w[b], w_shoup[b]).
+  void (*fwd_stage)(u64* a, std::size_t t, std::size_t blocks, const u64* w,
+                    const u64* w_shoup, u64 q);
+  /// One inverse NTT stage, same layout.
+  void (*inv_stage)(u64* a, std::size_t t, std::size_t blocks, const u64* w,
+                    const u64* w_shoup, u64 q);
+
+  // --- Final reductions ---
+  /// Folds lazy values < 4q into [0, q) (forward-NTT epilogue).
+  void (*reduce_4q)(u64* a, std::size_t n, u64 q);
+};
+
+/// Currently active tier (after the one-time probe / env override).
+Tier active_tier();
+
+/// Kernel table of the active tier.
+const Kernels& kernels();
+
+/// True when the tier is both compiled into this binary and supported by the
+/// running CPU (kScalar is always supported).
+bool tier_supported(Tier t);
+
+/// Switches the active tier; returns false (and leaves the tier unchanged)
+/// when unsupported. Not safe to call concurrently with in-flight FHE ops —
+/// intended for tests and per-tier bench sweeps.
+bool set_tier(Tier t);
+
+/// "scalar" / "avx2" / "avx512".
+const char* tier_name(Tier t);
+
+/// Parses a SMARTPAF_SIMD value; `*ok` reports whether the string was one of
+/// the three tier names. Exposed so tests can pin the env grammar.
+Tier parse_tier(const char* s, bool* ok);
+
+namespace detail {
+// Per-TU kernel tables; null when the translation unit was built without the
+// matching instruction set (e.g. a compiler lacking -mavx512f).
+const Kernels* scalar_kernels();
+const Kernels* avx2_kernels();
+const Kernels* avx512_kernels();
+}  // namespace detail
+
+}  // namespace sp::fhe::simd
